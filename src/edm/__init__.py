@@ -1,0 +1,27 @@
+"""EDM: endurance-aware data migration simulator for SSD storage clusters.
+
+Reproduction of "EDM: An Endurance-Aware Data Migration Scheme for Load
+Balancing in SSD Storage Clusters" (IPPS 2014), built as a performance-first
+vectorized simulation engine.
+
+Public API:
+    SimConfig      -- one simulation configuration (workload x cluster x policy)
+    simulate       -- run a single configuration, returns a metrics dict
+    sweep          -- run a grid of configurations with caching + parallelism
+    default_grid   -- the paper's 64-config evaluation grid
+"""
+
+from edm.config import SimConfig, config_hash
+from edm.engine.core import simulate
+from edm.sweep import sweep, default_grid
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SimConfig",
+    "config_hash",
+    "simulate",
+    "sweep",
+    "default_grid",
+    "__version__",
+]

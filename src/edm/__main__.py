@@ -1,0 +1,5 @@
+import sys
+
+from edm.cli import main
+
+sys.exit(main())

@@ -1,0 +1,128 @@
+"""Benchmark harness: ``python -m edm.bench``.
+
+Times the full 64-config sweep cold (force re-simulation, cache rewritten)
+and warm (pure cache reads), plus single-config engine throughput, and
+writes ``BENCH_sweep.json`` at the repo root so later PRs have a perf
+trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from edm import __version__
+from edm.cache import DEFAULT_CACHE_DIR
+from edm.config import SimConfig
+from edm.engine.core import simulate
+from edm.sweep import default_grid, sweep
+
+DEFAULT_OUT = Path("BENCH_sweep.json")
+
+
+def bench_single_config(requests_target: int = 2_000_000) -> dict:
+    """Single-config throughput through the vectorized path."""
+    # deasna has constant epoch volume, so requests_simulated is exact.
+    base = SimConfig(workload="deasna", num_osds=20, policy="cmt")
+    per_epoch = base.requests_per_epoch
+    epochs = max(1, -(-requests_target // per_epoch))
+    cfg = SimConfig(
+        workload=base.workload,
+        num_osds=base.num_osds,
+        policy=base.policy,
+        epochs=epochs,
+        requests_per_epoch=per_epoch,
+    )
+    t0 = time.perf_counter()
+    metrics = simulate(cfg)
+    elapsed = time.perf_counter() - t0
+    simulated = metrics["total_requests"]
+    return {
+        "config": cfg.cache_name(),
+        "epochs": epochs,
+        "requests_simulated": simulated,
+        "seconds": elapsed,
+        "requests_per_sec": simulated / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def run_bench(
+    out_path: Path = DEFAULT_OUT,
+    cache_dir=DEFAULT_CACHE_DIR,
+    workers: int | None = None,
+    quick: bool = False,
+) -> dict:
+    overrides = {"epochs": 32, "requests_per_epoch": 1024} if quick else {}
+    grid = default_grid(**overrides)
+
+    t0 = time.perf_counter()
+    cold = sweep(grid, cache_dir=cache_dir, workers=workers, force=True)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = sweep(grid, cache_dir=cache_dir, workers=workers)
+    warm_s = time.perf_counter() - t0
+
+    single = bench_single_config(200_000 if quick else 2_000_000)
+
+    report = {
+        "edm_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+        "sweep": {
+            "configs": len(grid),
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "speedup_warm_over_cold": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "warm_cache_hits": warm.cache_hits,
+            "total_requests_simulated": cold.total_requests,
+            "requests_per_sec_cold": cold.total_requests / cold_s if cold_s > 0 else 0.0,
+        },
+        "single_config": single,
+    }
+    out_path = Path(out_path)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m edm.bench",
+        description="Benchmark the EDM sweep engine (cold vs warm) and write BENCH_sweep.json",
+    )
+    ap.add_argument("--out", default=str(DEFAULT_OUT), help="output JSON path")
+    ap.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR))
+    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument(
+        "--quick", action="store_true", help="tiny epochs/requests (CI smoke)"
+    )
+    args = ap.parse_args(argv)
+
+    report = run_bench(
+        out_path=Path(args.out),
+        cache_dir=Path(args.cache_dir),
+        workers=args.workers,
+        quick=args.quick,
+    )
+    s = report["sweep"]
+    print(
+        f"sweep: {s['configs']} configs | cold {s['cold_seconds']:.2f}s "
+        f"({s['requests_per_sec_cold']:,.0f} req/s) | warm {s['warm_seconds']:.3f}s "
+        f"| speedup {s['speedup_warm_over_cold']:.1f}x"
+    )
+    sc = report["single_config"]
+    print(
+        f"single-config: {sc['requests_simulated']:,} requests in {sc['seconds']:.2f}s "
+        f"= {sc['requests_per_sec']:,.0f} req/s"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

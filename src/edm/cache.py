@@ -1,0 +1,86 @@
+"""Content-keyed result cache.
+
+Results live in ``.repro-cache/<workload>-<N>osd-<policy>-s<skew>-r<seed>.pkl``
+(the key format inherited from the original sweep artifacts).  The filename
+alone is not trusted: each pickle stores the full config content hash, and a
+load only hits if that hash matches the requesting config.  Unreadable or
+stale pickles (old engine versions, foreign formats, corruption) are
+invalidated -- deleted and reported as a miss -- never silently returned.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from edm.config import SimConfig, config_hash
+
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+_PAYLOAD_VERSION = 1
+
+
+class ResultCache:
+    def __init__(self, cache_dir: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+
+    def path_for(self, cfg: SimConfig) -> Path:
+        return self.cache_dir / f"{cfg.cache_name()}.pkl"
+
+    def load(self, cfg: SimConfig) -> dict | None:
+        """Return cached metrics for cfg, or None on miss/invalidation."""
+        path = self.path_for(cfg)
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unreadable pickle (truncated capture, foreign class, corruption).
+            self._invalidate(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("payload_version") != _PAYLOAD_VERSION
+            or payload.get("config_hash") != config_hash(cfg)
+        ):
+            self._invalidate(path)
+            return None
+        self.hits += 1
+        return payload["metrics"]
+
+    def store(self, cfg: SimConfig, metrics: dict) -> Path:
+        """Atomically write metrics for cfg (write to temp file, then rename)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(cfg)
+        payload = {
+            "payload_version": _PAYLOAD_VERSION,
+            "config_hash": config_hash(cfg),
+            "config": cfg.to_dict(),
+            "metrics": metrics,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def _invalidate(self, path: Path) -> None:
+        self.misses += 1
+        self.invalidated += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,116 @@
+"""Command-line interface: ``python -m edm {run,sweep,bench}``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from edm import bench as bench_mod
+from edm.cache import DEFAULT_CACHE_DIR
+from edm.config import POLICIES, WORKLOADS, SimConfig
+from edm.engine.core import simulate
+from edm.sweep import default_grid, sweep
+
+
+def _csv(value: str) -> list[str]:
+    return [v.strip() for v in value.split(",") if v.strip()]
+
+
+def _add_engine_args(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument("--epochs", type=int, default=None)
+    ap.add_argument("--requests", type=int, default=None, help="requests per epoch")
+    ap.add_argument("--skew", type=float, default=0.02)
+
+
+def _overrides(args) -> dict:
+    out = {"skew": args.skew}
+    if args.epochs is not None:
+        out["epochs"] = args.epochs
+    if args.requests is not None:
+        out["requests_per_epoch"] = args.requests
+    return out
+
+
+def cmd_run(args) -> int:
+    policy = "cmt" if args.policy == "edm" else args.policy
+    cfg = SimConfig(
+        workload=args.workload,
+        num_osds=args.osds,
+        policy=policy,
+        seed=args.seed,
+        **_overrides(args),
+    )
+    metrics = simulate(cfg)
+    print(json.dumps(metrics, indent=2))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    policies = ["cmt" if p == "edm" else p for p in _csv(args.policies)]
+    grid = default_grid(
+        workloads=_csv(args.workloads),
+        osds=[int(n) for n in _csv(args.osds)],
+        policies=policies,
+        seeds=[int(s) for s in _csv(args.seeds)],
+        **_overrides(args),
+    )
+    result = sweep(
+        grid,
+        cache_dir=Path(args.cache_dir),
+        workers=args.workers,
+        force=args.force,
+        use_cache=not args.no_cache,
+    )
+    for cfg, metrics in zip(grid, result.results):
+        print(
+            f"{cfg.cache_name():44s} load_cov={metrics['load_cov_mean']:.4f} "
+            f"wear_spread={metrics['wear_spread']:.0f} "
+            f"migrations={metrics['migrations_total']}"
+        )
+    print(
+        f"# {len(grid)} configs: {result.simulated} simulated, "
+        f"{result.cache_hits} cache hits, {result.cache_invalidated} invalidated"
+    )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    return bench_mod.main(args.rest)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m edm", description="EDM cluster simulator")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate a single configuration")
+    run_p.add_argument("--workload", choices=WORKLOADS, default="deasna")
+    run_p.add_argument("--osds", type=int, default=16)
+    run_p.add_argument("--policy", choices=[*POLICIES, "edm"], default="cmt")
+    run_p.add_argument("--seed", type=int, default=12345)
+    _add_engine_args(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="run a config grid (cached, parallel)")
+    sweep_p.add_argument("--workloads", default=",".join(WORKLOADS))
+    sweep_p.add_argument("--osds", default="16,20")
+    sweep_p.add_argument("--policies", default=",".join(POLICIES))
+    sweep_p.add_argument("--seeds", default="12345,54321")
+    sweep_p.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR))
+    sweep_p.add_argument("--workers", type=int, default=None)
+    sweep_p.add_argument("--force", action="store_true", help="ignore cache hits")
+    sweep_p.add_argument("--no-cache", action="store_true")
+    _add_engine_args(sweep_p)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    bench_p = sub.add_parser("bench", help="alias for python -m edm.bench")
+    bench_p.add_argument("rest", nargs=argparse.REMAINDER)
+    bench_p.set_defaults(func=cmd_bench)
+
+    args = ap.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Simulation configuration and content hashing.
+
+A SimConfig fully determines a simulation run: identical configs produce
+bit-identical metrics.  ``config_hash`` is the content key used by the
+result cache -- any field change (or an engine format bump) invalidates
+previously cached pickles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+# Bump when the engine's semantics or the metrics format change, so stale
+# cached results from older engines are never returned.
+ENGINE_VERSION = 1
+
+WORKLOADS = ("deasna", "deasna2", "lair62", "lair62b")
+POLICIES = ("baseline", "cdf", "hdf", "cmt")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulation configuration.
+
+    The first five fields mirror the cache-key filename
+    ``<workload>-<N>osd-<policy>-s<skew>-r<seed>.pkl``; the rest are engine
+    knobs with defaults sized so a full 64-config sweep stays well under a
+    minute on one core.
+    """
+
+    workload: str = "deasna"
+    num_osds: int = 16
+    policy: str = "cmt"
+    skew: float = 0.02
+    seed: int = 12345
+
+    # Engine sizing
+    epochs: int = 256
+    requests_per_epoch: int = 8192
+    chunks_per_osd: int = 64
+
+    # Heat / load tracking (exponential moving averages)
+    heat_alpha: float = 0.3
+    load_alpha: float = 0.5
+
+    # Wear model: each write costs this many erase-count units; migrating a
+    # chunk rewrites it wholesale on the destination SSD.
+    wear_per_write: float = 1.0
+    migration_write_cost: float = 64.0
+    chunk_size_mb: float = 64.0
+
+    # Migration policy knobs
+    migrate_interval: int = 8
+    overload_tolerance: float = 0.05
+    max_migrations_per_interval: int = 8
+    migration_cooldown_epochs: int = 16
+    wear_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}, expected one of {WORKLOADS}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}, expected one of {POLICIES}")
+        if self.num_osds < 2:
+            raise ValueError("num_osds must be >= 2")
+        if self.epochs < 1 or self.requests_per_epoch < 1 or self.chunks_per_osd < 1:
+            raise ValueError("epochs, requests_per_epoch, chunks_per_osd must be >= 1")
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_osds * self.chunks_per_osd
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimConfig":
+        return cls(**d)
+
+    def cache_name(self) -> str:
+        """Filename stem matching the historical .repro-cache key format."""
+        return f"{self.workload}-{self.num_osds}osd-{self.policy}-s{self.skew:g}-r{self.seed}"
+
+
+def config_hash(cfg: SimConfig) -> str:
+    """Stable content hash of a config plus the engine version."""
+    payload = {"engine_version": ENGINE_VERSION, **cfg.to_dict()}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def rng_seed_sequence(cfg: SimConfig):
+    """Deterministic per-config seed material.
+
+    Mixes the user seed with the config content hash so two configs sharing a
+    seed (e.g. same seed, different policy) still draw distinct workload
+    streams, while staying reproducible across processes and platforms.
+    """
+    import numpy as np
+
+    digest = config_hash(cfg)
+    words = [int(digest[i : i + 8], 16) for i in range(0, 32, 8)]
+    return np.random.SeedSequence([cfg.seed, *words])

@@ -1,0 +1,13 @@
+"""Vectorized EDM simulation engine."""
+
+from edm.engine.core import apply_migrations, simulate
+from edm.engine.state import ClusterState, init_state
+from edm.engine.metrics import MetricsAccumulator
+
+__all__ = [
+    "simulate",
+    "apply_migrations",
+    "ClusterState",
+    "init_state",
+    "MetricsAccumulator",
+]

@@ -1,0 +1,97 @@
+"""Vectorized simulation core.
+
+One epoch is a handful of O(num_chunks) array ops:
+
+  1. draw per-chunk access/write counts (single multinomial + binomial)
+  2. route: per-OSD load via bincount over the chunk->OSD map
+  3. accrue wear on the OSDs that absorbed the writes
+  4. update heat/load EMAs
+  5. every ``migrate_interval`` epochs, let the policy pick migrations and
+     apply them as a batch index assignment
+
+There is no per-request Python loop anywhere; a "request" only ever exists
+as a unit inside a counts vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from edm.config import SimConfig, rng_seed_sequence
+from edm.engine.metrics import MetricsAccumulator
+from edm.engine.state import ClusterState, init_state
+from edm.policies import get_policy
+from edm.workloads import make_workload
+
+
+def apply_migrations(state: ClusterState, moves: np.ndarray, cfg: SimConfig) -> int:
+    """Apply policy-selected moves; returns how many were actually applied.
+
+    ``moves`` is an int array of shape (k, 2): (chunk_id, dst_osd).  Duplicate
+    chunk entries keep only the first; no-op and out-of-range moves are
+    dropped, so a buggy policy can never lose or duplicate a chunk.
+    """
+    moves = np.asarray(moves, dtype=np.int64).reshape(-1, 2)
+    if moves.size == 0:
+        return 0
+    _, first = np.unique(moves[:, 0], return_index=True)
+    moves = moves[np.sort(first)]
+    chunk, dst = moves[:, 0], moves[:, 1]
+    ok = (
+        (chunk >= 0)
+        & (chunk < state.num_chunks)
+        & (dst >= 0)
+        & (dst < state.num_osds)
+        & (state.chunk_owner[chunk] != dst)
+    )
+    chunk, dst = chunk[ok], dst[ok]
+    if chunk.size == 0:
+        return 0
+    state.chunk_owner[chunk] = dst.astype(np.int32)
+    # Migration rewrites the whole chunk on the destination SSD.
+    np.add.at(
+        state.osd_wear, dst, cfg.migration_write_cost * cfg.wear_per_write
+    )
+    state.chunk_last_migrated[chunk] = state.epoch
+    state.migrations_total += int(chunk.size)
+    return int(chunk.size)
+
+
+def simulate(cfg: SimConfig) -> dict:
+    """Run one configuration to completion and return its metrics dict."""
+    ss = rng_seed_sequence(cfg)
+    wl_ss, _reserved = ss.spawn(2)
+    workload = make_workload(cfg, np.random.default_rng(wl_ss))
+    policy = get_policy(cfg.policy)
+    state = init_state(cfg)
+    acc = MetricsAccumulator(cfg)
+
+    load = np.zeros(cfg.num_osds)
+    for epoch in range(cfg.epochs):
+        state.epoch = epoch
+        counts, writes = workload.epoch_counts(epoch)
+        countsf = counts.astype(np.float64)
+        load = np.bincount(
+            state.chunk_owner, weights=countsf, minlength=cfg.num_osds
+        )
+        wear_inc = np.bincount(
+            state.chunk_owner,
+            weights=writes.astype(np.float64),
+            minlength=cfg.num_osds,
+        )
+        state.osd_wear += wear_inc * cfg.wear_per_write
+        state.chunk_heat *= 1.0 - cfg.heat_alpha
+        state.chunk_heat += cfg.heat_alpha * countsf
+        state.chunk_write_heat *= 1.0 - cfg.heat_alpha
+        state.chunk_write_heat += cfg.heat_alpha * writes
+        state.osd_load_ema *= 1.0 - cfg.load_alpha
+        state.osd_load_ema += cfg.load_alpha * load
+
+        acc.observe_epoch(load, counts.sum(), writes.sum())
+
+        if (epoch + 1) % cfg.migrate_interval == 0:
+            moves = policy.select(state, cfg)
+            apply_migrations(state, moves, cfg)
+
+    state.validate()
+    return acc.finalize(state, load)

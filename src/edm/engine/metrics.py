@@ -1,0 +1,69 @@
+"""Metric accumulation for a simulation run.
+
+Paper metrics:
+  * load-balance degree -- coefficient of variation of per-OSD load
+    (std / mean), averaged over epochs; 0 is perfectly balanced.
+  * wear spread -- (max - min) erase count across SSDs at end of run,
+    plus the CoV of wear; endurance-aware migration should shrink both.
+  * migration cost -- total data moved (chunks x chunk size).
+
+All values in the final dict are plain Python ints/floats/lists so results
+pickle stably and compare exactly across processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from edm.config import SimConfig
+from edm.engine.state import ClusterState
+
+
+class MetricsAccumulator:
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+        self._cov_sum = 0.0
+        self._peak_ratio_sum = 0.0
+        self._epochs = 0
+        self._total_requests = 0
+        self._total_writes = 0
+
+    def observe_epoch(self, load: np.ndarray, counts_sum: int, writes_sum: int) -> None:
+        mean = load.mean()
+        if mean > 0:
+            self._cov_sum += float(load.std() / mean)
+            self._peak_ratio_sum += float(load.max() / mean)
+        self._epochs += 1
+        self._total_requests += int(counts_sum)
+        self._total_writes += int(writes_sum)
+
+    def finalize(self, state: ClusterState, final_load: np.ndarray) -> dict:
+        cfg = self.cfg
+        wear = state.osd_wear
+        wear_mean = float(wear.mean())
+        epochs = max(self._epochs, 1)
+        final_mean = float(final_load.mean())
+        return {
+            "workload": cfg.workload,
+            "policy": cfg.policy,
+            "num_osds": cfg.num_osds,
+            "skew": cfg.skew,
+            "seed": cfg.seed,
+            "epochs": self._epochs,
+            "total_requests": self._total_requests,
+            "total_writes": self._total_writes,
+            # Load balance
+            "load_cov_mean": self._cov_sum / epochs,
+            "load_peak_ratio_mean": self._peak_ratio_sum / epochs,
+            "load_cov_final": float(final_load.std() / final_mean) if final_mean > 0 else 0.0,
+            # Wear / endurance
+            "wear_mean": wear_mean,
+            "wear_max": float(wear.max()),
+            "wear_min": float(wear.min()),
+            "wear_spread": float(wear.max() - wear.min()),
+            "wear_cov": float(wear.std() / wear_mean) if wear_mean > 0 else 0.0,
+            "per_osd_wear": [float(w) for w in wear],
+            # Migration cost
+            "migrations_total": int(state.migrations_total),
+            "migration_cost_mb": float(state.migrations_total * cfg.chunk_size_mb),
+        }

@@ -1,0 +1,61 @@
+"""Cluster state held as flat NumPy arrays.
+
+Everything the engine and policies touch per epoch lives here as an array
+indexed by chunk or by OSD, so routing, wear accrual, and policy selection
+are batch array ops rather than per-request Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from edm.config import SimConfig
+
+
+@dataclass
+class ClusterState:
+    num_osds: int
+    num_chunks: int
+    # Per-chunk
+    chunk_owner: np.ndarray          # int32 [C], OSD id owning each chunk
+    chunk_heat: np.ndarray           # float64 [C], EMA of access counts
+    chunk_write_heat: np.ndarray     # float64 [C], EMA of write counts
+    chunk_last_migrated: np.ndarray  # int64 [C], epoch of last migration (-inf sentinel)
+    # Per-OSD
+    osd_wear: np.ndarray             # float64 [N], cumulative erase-count units
+    osd_load_ema: np.ndarray         # float64 [N], EMA of per-epoch load
+    epoch: int = 0
+    migrations_total: int = 0
+
+    def validate(self) -> None:
+        """Cheap invariant check: every chunk owned by exactly one valid OSD."""
+        if self.chunk_owner.shape != (self.num_chunks,):
+            raise AssertionError("chunk_owner shape drifted")
+        if self.chunk_owner.min() < 0 or self.chunk_owner.max() >= self.num_osds:
+            raise AssertionError("chunk_owner contains out-of-range OSD id")
+
+    def eligible_mask(self, cfg: SimConfig) -> np.ndarray:
+        """Chunks past their migration cooldown window."""
+        return (self.epoch - self.chunk_last_migrated) >= cfg.migration_cooldown_epochs
+
+
+def init_state(cfg: SimConfig) -> ClusterState:
+    """Contiguous block placement: chunk i lives on OSD i // chunks_per_osd.
+
+    Combined with rank-ordered Zipf popularity this concentrates the hot set
+    on low-numbered OSDs, the realistic sequential-layout worst case that
+    migration policies exist to fix.
+    """
+    c, n = cfg.num_chunks, cfg.num_osds
+    return ClusterState(
+        num_osds=n,
+        num_chunks=c,
+        chunk_owner=(np.arange(c, dtype=np.int64) // cfg.chunks_per_osd).astype(np.int32),
+        chunk_heat=np.zeros(c),
+        chunk_write_heat=np.zeros(c),
+        chunk_last_migrated=np.full(c, -(10**9), dtype=np.int64),
+        osd_wear=np.zeros(n),
+        osd_load_ema=np.zeros(n),
+    )

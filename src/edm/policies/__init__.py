@@ -1,0 +1,38 @@
+"""Policy registry.
+
+``cmt`` is the paper's EDM scheme (the name the historical cache keys use);
+``edm`` is accepted as an alias.
+"""
+
+from __future__ import annotations
+
+from edm.policies.base import MigrationPolicy, ThresholdPolicy, EMPTY_MOVES
+from edm.policies.baseline import BaselinePolicy
+from edm.policies.cdf import CdfPolicy
+from edm.policies.hdf import HdfPolicy
+from edm.policies.cmt import CmtPolicy
+
+POLICIES: dict[str, type[MigrationPolicy]] = {
+    cls.name: cls for cls in (BaselinePolicy, CdfPolicy, HdfPolicy, CmtPolicy)
+}
+POLICIES["edm"] = CmtPolicy
+
+
+def get_policy(name: str) -> MigrationPolicy:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; have {sorted(POLICIES)}") from None
+
+
+__all__ = [
+    "MigrationPolicy",
+    "ThresholdPolicy",
+    "EMPTY_MOVES",
+    "POLICIES",
+    "get_policy",
+    "BaselinePolicy",
+    "CdfPolicy",
+    "HdfPolicy",
+    "CmtPolicy",
+]

@@ -1,0 +1,88 @@
+"""Migration policy interface and shared selection helpers.
+
+Policies only *select* moves; the engine applies them.  The hot path
+(routing, wear, EMAs) never enters policy code, so a policy is free to use
+small per-OSD loops -- the cluster has tens of OSDs, not thousands.
+
+The shared skeleton: find OSDs whose smoothed load exceeds the cluster mean
+by ``overload_tolerance``, walk their chunks in a policy-defined order, and
+ship each to a policy-chosen underloaded destination until the source is
+back within tolerance or the per-interval budget runs out.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from edm.config import SimConfig
+from edm.engine.state import ClusterState
+
+EMPTY_MOVES = np.empty((0, 2), dtype=np.int64)
+
+
+class MigrationPolicy(ABC):
+    name = "abstract"
+
+    @abstractmethod
+    def select(self, state: ClusterState, cfg: SimConfig) -> np.ndarray:
+        """Return an int array (k, 2) of (chunk_id, dst_osd) moves."""
+
+
+class ThresholdPolicy(MigrationPolicy):
+    """Overload-threshold skeleton shared by CDF / HDF / CMT."""
+
+    def chunk_order(self, chunk_ids: np.ndarray, state: ClusterState) -> np.ndarray:
+        """Order candidate chunks on an overloaded OSD (first = first moved)."""
+        raise NotImplementedError
+
+    def pick_destination(
+        self,
+        candidates: np.ndarray,
+        proj_load: np.ndarray,
+        state: ClusterState,
+        cfg: SimConfig,
+    ) -> int:
+        """Pick a destination among underloaded OSD ids (default: least load)."""
+        return int(candidates[np.argmin(proj_load[candidates])])
+
+    def select(self, state: ClusterState, cfg: SimConfig) -> np.ndarray:
+        proj = state.osd_load_ema.copy()
+        mean = proj.mean()
+        if mean <= 0:
+            return EMPTY_MOVES
+        high = mean * (1.0 + cfg.overload_tolerance)
+        overloaded = np.flatnonzero(proj > high)
+        if overloaded.size == 0:
+            return EMPTY_MOVES
+        eligible = state.eligible_mask(cfg)
+
+        budget = cfg.max_migrations_per_interval
+        moves: list[tuple[int, int]] = []
+        # Heaviest sources first.
+        for src in overloaded[np.argsort(-proj[overloaded])]:
+            if budget <= 0:
+                break
+            mine = np.flatnonzero((state.chunk_owner == src) & eligible)
+            if mine.size == 0:
+                continue
+            for chunk in self.chunk_order(mine, state):
+                if budget <= 0 or proj[src] <= high:
+                    break
+                under = np.flatnonzero(proj < mean)
+                if under.size == 0:
+                    break
+                dst = self.pick_destination(under, proj, state, cfg)
+                heat = state.chunk_heat[chunk]
+                # Never move load onto an OSD that would end up hotter than
+                # the source it came from.
+                if proj[dst] + heat >= proj[src]:
+                    continue
+                moves.append((int(chunk), dst))
+                proj[src] -= heat
+                proj[dst] += heat
+                budget -= 1
+        if not moves:
+            return EMPTY_MOVES
+        return np.asarray(moves, dtype=np.int64)

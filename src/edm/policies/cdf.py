@@ -1,0 +1,21 @@
+"""CDF: cold-data-first migration.
+
+Moves the coldest active chunks first, so each move disturbs little ongoing
+traffic -- at the cost of needing many more moves (higher migration cost)
+to shed the same load.
+"""
+
+import numpy as np
+
+from edm.policies.base import ThresholdPolicy
+
+
+class CdfPolicy(ThresholdPolicy):
+    name = "cdf"
+
+    def chunk_order(self, chunk_ids, state):
+        heat = state.chunk_heat[chunk_ids]
+        # Stone-cold chunks shed no load; consider only chunks with traffic,
+        # coldest first.
+        active = chunk_ids[heat > 0]
+        return active[np.argsort(state.chunk_heat[active])]

@@ -1,0 +1,31 @@
+"""CMT: the paper's endurance-aware EDM migration scheme.
+
+Like HDF it sheds the hottest eligible chunks from overloaded OSDs, but the
+destination is chosen by a combined load + wear score instead of load alone:
+an underloaded SSD with many erase cycles already on the clock is penalized,
+so migration writes (and the follow-on write traffic of hot chunks) land on
+the least-worn drives.  Drives within a small load band are therefore
+ranked purely by remaining endurance, equalizing wear across the cluster
+while still meeting the load-balance target.
+"""
+
+import numpy as np
+
+from edm.policies.base import ThresholdPolicy
+
+
+class CmtPolicy(ThresholdPolicy):
+    name = "cmt"
+
+    def chunk_order(self, chunk_ids, state):
+        return chunk_ids[np.argsort(-state.chunk_heat[chunk_ids])]
+
+    def pick_destination(self, candidates, proj_load, state, cfg):
+        load = proj_load[candidates]
+        wear = state.osd_wear[candidates]
+        mean_load = proj_load.mean()
+        load_norm = load / mean_load if mean_load > 0 else load
+        wear_scale = wear.mean()
+        wear_norm = wear / wear_scale if wear_scale > 0 else wear
+        score = load_norm + cfg.wear_weight * wear_norm
+        return int(candidates[np.argmin(score)])

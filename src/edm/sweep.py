@@ -1,0 +1,103 @@
+"""Parallel sweep runner.
+
+Fans a workload x osd x policy x seed grid across a ProcessPoolExecutor.
+Cache lookups happen in the parent before any worker is spawned, so a fully
+warm sweep never pays pool startup; only misses are submitted.  Each config
+carries its own seed and derives its RNG streams from its content hash
+(see edm.config.rng_seed_sequence), so results are identical regardless of
+worker count or scheduling order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import product
+
+from edm.cache import DEFAULT_CACHE_DIR, ResultCache
+from edm.config import POLICIES, WORKLOADS, SimConfig
+from edm.engine.core import simulate
+
+
+def default_grid(
+    workloads=WORKLOADS,
+    osds=(16, 20),
+    policies=POLICIES,
+    seeds=(12345, 54321),
+    skew: float = 0.02,
+    **overrides,
+) -> list[SimConfig]:
+    """The paper's evaluation grid: 4 workloads x {16,20} OSDs x 4 policies x 2 seeds."""
+    return [
+        SimConfig(workload=w, num_osds=n, policy=p, seed=s, skew=skew, **overrides)
+        for w, n, p, s in product(workloads, osds, policies, seeds)
+    ]
+
+
+def _run_config(cfg_dict: dict) -> dict:
+    """Worker entry point (module-level for picklability)."""
+    return simulate(SimConfig.from_dict(cfg_dict))
+
+
+@dataclass
+class SweepResult:
+    results: list[dict]
+    cache_hits: int
+    cache_misses: int
+    cache_invalidated: int
+    simulated: int
+
+    @property
+    def total_requests(self) -> int:
+        return sum(r["total_requests"] for r in self.results)
+
+
+def sweep(
+    configs: list[SimConfig],
+    cache_dir=DEFAULT_CACHE_DIR,
+    workers: int | None = None,
+    force: bool = False,
+    use_cache: bool = True,
+) -> SweepResult:
+    """Run every config, returning results in the order given.
+
+    ``force=True`` re-simulates even on a cache hit (and refreshes the cache).
+    ``workers`` <= 1 runs inline with no pool; the default is the CPU count.
+    """
+    cache = ResultCache(cache_dir) if use_cache else None
+    results: list[dict | None] = [None] * len(configs)
+    pending: list[int] = []
+
+    for i, cfg in enumerate(configs):
+        if cache is not None and not force:
+            hit = cache.load(cfg)
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, len(pending) or 1))
+
+    if pending:
+        if workers == 1:
+            computed = [_run_config(configs[i].to_dict()) for i in pending]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(
+                    pool.map(_run_config, [configs[i].to_dict() for i in pending])
+                )
+        for i, metrics in zip(pending, computed):
+            results[i] = metrics
+            if cache is not None:
+                cache.store(configs[i], metrics)
+
+    return SweepResult(
+        results=results,  # type: ignore[arg-type]
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else len(pending),
+        cache_invalidated=cache.invalidated if cache else 0,
+        simulated=len(pending),
+    )

@@ -1,0 +1,60 @@
+"""Synthetic workload base: Zipf-skewed chunk access with drift and bursts.
+
+Each trace family is a SyntheticTrace subclass that fixes a popularity
+exponent, read/write mix, hotspot drift, and burstiness.  The generator is
+fully vectorized: an epoch's accesses are drawn as a single multinomial over
+the chunk-popularity vector (one RNG call per epoch, O(num_chunks)), not as
+per-request samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from edm.config import SimConfig
+
+
+class SyntheticTrace:
+    """Base synthetic trace.
+
+    Subclasses set class attributes; ``epoch_counts`` returns the per-chunk
+    read+write access counts for one epoch.
+    """
+
+    name = "base"
+    base_zipf = 1.0        # popularity exponent theta; p(rank r) ~ r^-theta
+    write_ratio = 0.4      # fraction of accesses that are writes
+    drift_period = 0       # epochs between hotspot shifts (0 = static hotset)
+    drift_step = 0         # chunks the hotspot rotates per shift
+    burstiness = 0.0       # 0 = constant epoch volume; >0 = gamma-modulated
+
+    def __init__(self, cfg: SimConfig, rng: np.random.Generator):
+        self.cfg = cfg
+        self.rng = rng
+        theta = self.base_zipf + cfg.skew
+        ranks = np.arange(1, cfg.num_chunks + 1, dtype=np.float64)
+        p = ranks ** -theta
+        self._base_probs = p / p.sum()
+
+    def probs(self, epoch: int) -> np.ndarray:
+        """Chunk popularity vector for this epoch (hotspot drift applied)."""
+        if self.drift_period and self.drift_step:
+            shift = (epoch // self.drift_period) * self.drift_step
+            if shift % self.cfg.num_chunks:
+                return np.roll(self._base_probs, shift)
+        return self._base_probs
+
+    def epoch_volume(self, epoch: int) -> int:
+        base = self.cfg.requests_per_epoch
+        if self.burstiness > 0:
+            # Gamma with mean 1: occasional epochs with several-x volume.
+            scale = self.rng.gamma(1.0 / self.burstiness, self.burstiness)
+            return max(1, int(round(base * scale)))
+        return base
+
+    def epoch_counts(self, epoch: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (access_counts, write_counts), both int64 arrays [num_chunks]."""
+        volume = self.epoch_volume(epoch)
+        counts = self.rng.multinomial(volume, self.probs(epoch))
+        writes = self.rng.binomial(counts, self.write_ratio)
+        return counts, writes

@@ -1,0 +1,16 @@
+"""deasna: research-department NFS trace stand-in.
+
+Mixed read/write with a moderately skewed, slowly drifting hotset -- the
+working set migrates as projects come and go.
+"""
+
+from edm.workloads.base import SyntheticTrace
+
+
+class DeasnaTrace(SyntheticTrace):
+    name = "deasna"
+    base_zipf = 0.9
+    write_ratio = 0.45
+    drift_period = 32
+    drift_step = 16
+    burstiness = 0.0

@@ -1,0 +1,16 @@
+"""deasna2: second-year research-department NFS trace stand-in.
+
+Heavier skew and bursty epoch volume (batch jobs), slightly more
+write-intensive than deasna.
+"""
+
+from edm.workloads.base import SyntheticTrace
+
+
+class Deasna2Trace(SyntheticTrace):
+    name = "deasna2"
+    base_zipf = 1.1
+    write_ratio = 0.5
+    drift_period = 32
+    drift_step = 16
+    burstiness = 0.25

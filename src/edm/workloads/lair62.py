@@ -1,0 +1,16 @@
+"""lair62: home-directory NFS trace stand-in.
+
+Read-heavy with a strongly skewed, static hotset -- a few popular home
+directories dominate.
+"""
+
+from edm.workloads.base import SyntheticTrace
+
+
+class Lair62Trace(SyntheticTrace):
+    name = "lair62"
+    base_zipf = 1.2
+    write_ratio = 0.25
+    drift_period = 0
+    drift_step = 0
+    burstiness = 0.0

@@ -1,0 +1,16 @@
+"""lair62b: variant of lair62 with periodic hotspot shifts.
+
+Same read-heavy mix, but the popular set rotates abruptly (semester
+turnover), stressing migration policies with a moving target.
+"""
+
+from edm.workloads.base import SyntheticTrace
+
+
+class Lair62bTrace(SyntheticTrace):
+    name = "lair62b"
+    base_zipf = 1.05
+    write_ratio = 0.25
+    drift_period = 48
+    drift_step = 96
+    burstiness = 0.1

@@ -1,0 +1,46 @@
+import numpy as np
+import pytest
+
+from edm.config import SimConfig
+from edm.engine.state import ClusterState
+
+
+@pytest.fixture
+def small_cfg():
+    """Tiny config for fast unit runs."""
+    return SimConfig(
+        workload="deasna",
+        num_osds=4,
+        policy="cmt",
+        epochs=32,
+        requests_per_epoch=512,
+        chunks_per_osd=8,
+    )
+
+
+def make_state(
+    cfg: SimConfig,
+    owner=None,
+    heat=None,
+    wear=None,
+    load_ema=None,
+    epoch: int = 100,
+) -> ClusterState:
+    """Hand-crafted cluster state for policy unit tests."""
+    c, n = cfg.num_chunks, cfg.num_osds
+    return ClusterState(
+        num_osds=n,
+        num_chunks=c,
+        chunk_owner=np.asarray(
+            owner if owner is not None else np.arange(c) // cfg.chunks_per_osd,
+            dtype=np.int32,
+        ),
+        chunk_heat=np.asarray(heat if heat is not None else np.ones(c), dtype=np.float64),
+        chunk_write_heat=np.zeros(c),
+        chunk_last_migrated=np.full(c, -(10**9), dtype=np.int64),
+        osd_wear=np.asarray(wear if wear is not None else np.zeros(n), dtype=np.float64),
+        osd_load_ema=np.asarray(
+            load_ema if load_ema is not None else np.ones(n), dtype=np.float64
+        ),
+        epoch=epoch,
+    )

@@ -1,0 +1,69 @@
+"""Cache layer: warm hits are exact, stale/corrupt pickles are invalidated."""
+
+import pickle
+
+import pytest
+
+from edm.cache import ResultCache
+from edm.config import SimConfig, config_hash
+from edm.engine.core import simulate
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_miss_then_store_then_exact_hit(cache, small_cfg):
+    assert cache.load(small_cfg) is None
+    metrics = simulate(small_cfg)
+    cache.store(small_cfg, metrics)
+    assert cache.load(small_cfg) == metrics
+    assert cache.hits == 1
+
+
+def test_filename_matches_historical_key_format(cache):
+    cfg = SimConfig(workload="lair62b", num_osds=20, policy="cmt", skew=0.02, seed=54321)
+    assert cache.path_for(cfg).name == "lair62b-20osd-cmt-s0.02-r54321.pkl"
+
+
+def test_config_hash_mismatch_invalidates_stale_pickle(cache, small_cfg):
+    metrics = simulate(small_cfg)
+    path = cache.store(small_cfg, metrics)
+    # Same cache filename, different engine knobs -> same path, different hash.
+    changed = SimConfig(**{**small_cfg.to_dict(), "heat_alpha": 0.9})
+    assert cache.path_for(changed) == path
+    assert cache.load(changed) is None
+    assert cache.invalidated == 1
+    assert not path.exists()  # stale pickle removed, not silently returned
+
+
+def test_corrupt_pickle_invalidated(cache, small_cfg):
+    path = cache.store(small_cfg, {"x": 1})
+    path.write_bytes(b"\x04garbage not a pickle")
+    assert cache.load(small_cfg) is None
+    assert cache.invalidated == 1
+    assert not path.exists()
+
+
+def test_foreign_payload_invalidated(cache, small_cfg):
+    # A well-formed pickle that is not our payload schema (e.g. the truncated
+    # artifacts the seed repo shipped with).
+    path = cache.path_for(small_cfg)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps({"workload": "deasna", "policy": "cmt"}))
+    assert cache.load(small_cfg) is None
+    assert not path.exists()
+
+
+def test_store_is_atomic_no_tmp_left(cache, small_cfg):
+    cache.store(small_cfg, {"x": 1})
+    leftovers = list(cache.cache_dir.glob("*.tmp"))
+    assert leftovers == []
+
+
+def test_payload_records_hash_and_config(cache, small_cfg):
+    path = cache.store(small_cfg, {"x": 1})
+    payload = pickle.loads(path.read_bytes())
+    assert payload["config_hash"] == config_hash(small_cfg)
+    assert payload["config"] == small_cfg.to_dict()

@@ -1,0 +1,53 @@
+"""CLI surface: run/sweep subcommands parse and produce output."""
+
+import json
+
+import pytest
+
+from edm.cli import main
+
+
+def test_run_prints_metrics(capsys):
+    assert (
+        main(
+            [
+                "run",
+                "--workload", "deasna",
+                "--osds", "4",
+                "--policy", "edm",
+                "--epochs", "8",
+                "--requests", "128",
+            ]
+        )
+        == 0
+    )
+    metrics = json.loads(capsys.readouterr().out)
+    assert metrics["policy"] == "cmt"
+    assert metrics["epochs"] == 8
+
+
+def test_sweep_smoke(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--workloads", "deasna",
+                "--osds", "4",
+                "--policies", "baseline,cmt",
+                "--seeds", "1",
+                "--epochs", "8",
+                "--requests", "128",
+                "--cache-dir", str(tmp_path),
+                "--workers", "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "deasna-4osd-baseline" in out
+    assert "2 configs: 2 simulated" in out
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--policy", "bogus"])

@@ -1,0 +1,93 @@
+"""Policy selection unit tests against hand-crafted cluster states."""
+
+import numpy as np
+import pytest
+
+from conftest import make_state
+from edm.config import SimConfig
+from edm.policies import POLICIES, get_policy
+from edm.policies.baseline import BaselinePolicy
+from edm.policies.cmt import CmtPolicy
+
+
+@pytest.fixture
+def cfg():
+    return SimConfig(num_osds=4, chunks_per_osd=4, policy="cmt")
+
+
+def overloaded_state(cfg, heat_on_src, wear=None):
+    """OSD 0 heavily overloaded, OSDs 1-3 idle; OSD 0's chunks get given heats."""
+    heat = np.full(cfg.num_chunks, 0.01)
+    heat[: cfg.chunks_per_osd] = heat_on_src
+    load_ema = np.array([sum(heat_on_src), 0.5, 0.5, 0.5])
+    return make_state(cfg, heat=heat, wear=wear, load_ema=load_ema)
+
+
+def test_registry_has_all_four_plus_alias():
+    assert set(POLICIES) == {"baseline", "cdf", "hdf", "cmt", "edm"}
+    assert isinstance(get_policy("edm"), CmtPolicy)
+    with pytest.raises(ValueError):
+        get_policy("nope")
+
+
+def test_baseline_never_migrates(cfg):
+    state = overloaded_state(cfg, [10.0, 9.0, 8.0, 7.0])
+    moves = BaselinePolicy().select(state, cfg)
+    assert moves.shape == (0, 2)
+
+
+def test_hdf_picks_hottest_eligible_chunk(cfg):
+    state = overloaded_state(cfg, [2.0, 9.0, 1.0, 3.0])
+    moves = get_policy("hdf").select(state, cfg)
+    assert len(moves) >= 1
+    assert moves[0][0] == 1  # chunk 1 is the hottest on OSD 0
+
+
+def test_hdf_skips_chunks_in_cooldown(cfg):
+    state = overloaded_state(cfg, [2.0, 9.0, 1.0, 3.0])
+    state.chunk_last_migrated[1] = state.epoch - 1  # hottest chunk just moved
+    moves = get_policy("hdf").select(state, cfg)
+    assert len(moves) >= 1
+    assert moves[0][0] == 3  # next-hottest eligible
+
+def test_cdf_picks_coldest_active_chunk(cfg):
+    state = overloaded_state(cfg, [2.0, 9.0, 1.0, 3.0])
+    moves = get_policy("cdf").select(state, cfg)
+    assert len(moves) >= 1
+    assert moves[0][0] == 2  # chunk 2 is the coldest with traffic
+
+
+def test_cmt_prefers_low_wear_target(cfg):
+    # OSDs 1-3 equally underloaded; OSD 2 is the least-worn SSD.
+    wear = np.array([1000.0, 900.0, 100.0, 900.0])
+    state = overloaded_state(cfg, [2.0, 9.0, 1.0, 3.0], wear=wear)
+    moves = get_policy("cmt").select(state, cfg)
+    assert len(moves) >= 1
+    # The first (hottest-chunk) move must target the least-worn SSD.
+    assert moves[0][1] == 2
+
+
+def test_hdf_ignores_wear_cmt_does_not(cfg):
+    # Make the least-loaded OSD also the most worn: HDF targets it, CMT avoids it.
+    wear = np.array([0.0, 5000.0, 10.0, 10.0])
+    heat = np.full(cfg.num_chunks, 0.01)
+    heat[: cfg.chunks_per_osd] = [2.0, 9.0, 1.0, 3.0]
+    load_ema = np.array([15.0, 0.1, 0.5, 0.5])
+    state = make_state(cfg, heat=heat, wear=wear, load_ema=load_ema)
+    hdf_dst = get_policy("hdf").select(state, cfg)[0][1]
+    cmt_dst = get_policy("cmt").select(state, cfg)[0][1]
+    assert hdf_dst == 1
+    assert cmt_dst in (2, 3)
+
+
+def test_no_migration_when_balanced(cfg):
+    state = make_state(cfg, load_ema=np.ones(cfg.num_osds))
+    for name in ("cdf", "hdf", "cmt"):
+        assert len(get_policy(name).select(state, cfg)) == 0
+
+
+def test_budget_respected(cfg):
+    state = overloaded_state(cfg, [9.0, 8.0, 7.0, 6.0])
+    for name in ("cdf", "hdf", "cmt"):
+        moves = get_policy(name).select(state, cfg)
+        assert len(moves) <= cfg.max_migrations_per_interval

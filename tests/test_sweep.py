@@ -1,0 +1,69 @@
+"""Sweep runner: grid construction, cache integration, worker-count invariance."""
+
+import pytest
+
+from edm.config import SimConfig
+from edm.sweep import default_grid, sweep
+
+TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
+
+
+def tiny_grid():
+    return default_grid(
+        workloads=("deasna", "lair62"),
+        osds=(4,),
+        policies=("baseline", "cmt"),
+        seeds=(1,),
+        **TINY,
+    )
+
+
+def test_default_grid_is_the_paper_grid():
+    grid = default_grid()
+    assert len(grid) == 64  # 4 workloads x 2 cluster sizes x 4 policies x 2 seeds
+    names = {c.cache_name() for c in grid}
+    assert "deasna-16osd-cmt-s0.02-r12345" in names
+    assert "lair62b-20osd-baseline-s0.02-r54321" in names
+    assert len(names) == 64
+
+
+def test_cold_then_warm_identical_results(tmp_path):
+    grid = tiny_grid()
+    cold = sweep(grid, cache_dir=tmp_path, workers=1)
+    assert cold.simulated == len(grid)
+    assert cold.cache_hits == 0
+    warm = sweep(grid, cache_dir=tmp_path, workers=1)
+    assert warm.simulated == 0
+    assert warm.cache_hits == len(grid)
+    assert warm.results == cold.results
+
+
+def test_force_resimulates(tmp_path):
+    grid = tiny_grid()
+    sweep(grid, cache_dir=tmp_path, workers=1)
+    forced = sweep(grid, cache_dir=tmp_path, workers=1, force=True)
+    assert forced.simulated == len(grid)
+    assert forced.cache_hits == 0
+
+
+def test_parallel_matches_inline(tmp_path):
+    grid = tiny_grid()
+    inline = sweep(grid, cache_dir=tmp_path / "a", workers=1)
+    pooled = sweep(grid, cache_dir=tmp_path / "b", workers=2)
+    assert inline.results == pooled.results
+
+
+def test_no_cache_mode(tmp_path):
+    grid = tiny_grid()[:2]
+    res = sweep(grid, cache_dir=tmp_path, workers=1, use_cache=False)
+    assert res.simulated == 2
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_results_in_config_order(tmp_path):
+    grid = tiny_grid()
+    res = sweep(grid, cache_dir=tmp_path, workers=1)
+    for cfg, metrics in zip(grid, res.results):
+        assert metrics["workload"] == cfg.workload
+        assert metrics["policy"] == cfg.policy
+        assert metrics["num_osds"] == cfg.num_osds
