@@ -4,24 +4,37 @@ Reproduction of "EDM: An Endurance-Aware Data Migration Scheme for Load
 Balancing in SSD Storage Clusters" (IPPS 2014), built as a performance-first
 vectorized simulation engine.
 
-Public API:
-    SimConfig      -- one simulation configuration (workload x cluster x policy)
-    simulate       -- run a single configuration, returns a metrics dict
-    sweep          -- run a grid of configurations with caching + parallelism
-    default_grid   -- the paper's 64-config evaluation grid
+Stable public API (everything in ``__all__``):
+    SimConfig          -- one simulation configuration (workload x cluster x policy)
+    simulate           -- run a configuration: ``simulate(cfg, recorders=())``
+    sweep              -- run a grid with caching + parallelism (+ time-series export)
+    SweepResult        -- a completed sweep (``results`` is always complete)
+    default_grid       -- the paper's 64-config evaluation grid
+    Recorder           -- observer protocol for per-epoch engine hooks
+    TimeSeriesRecorder -- per-epoch series capture with downsampling
+    TimeSeries         -- captured series + .npz/JSON/CSV exporters
+    resolve_policy     -- canonical policy name (resolves the ``edm`` alias)
+    config_hash        -- content hash keying the result cache
 """
 
 from edm.config import SimConfig, config_hash
 from edm.engine.core import simulate
-from edm.sweep import sweep, default_grid
+from edm.policies import resolve_policy
+from edm.sweep import SweepResult, default_grid, sweep
+from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "SimConfig",
+    "SweepResult",
+    "Recorder",
+    "TimeSeries",
+    "TimeSeriesRecorder",
     "config_hash",
+    "default_grid",
+    "resolve_policy",
     "simulate",
     "sweep",
-    "default_grid",
     "__version__",
 ]

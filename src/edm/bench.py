@@ -20,12 +20,17 @@ from edm.cache import DEFAULT_CACHE_DIR
 from edm.config import SimConfig
 from edm.engine.core import simulate
 from edm.sweep import default_grid, sweep
+from edm.telemetry import TimeSeriesRecorder
 
 DEFAULT_OUT = Path("BENCH_sweep.json")
 
 
-def bench_single_config(requests_target: int = 2_000_000) -> dict:
-    """Single-config throughput through the vectorized path."""
+def bench_single_config(requests_target: int = 2_000_000, telemetry: bool = False) -> dict:
+    """Single-config throughput through the vectorized path.
+
+    ``telemetry=True`` attaches a full-rate ``TimeSeriesRecorder`` so the
+    report tracks the observer layer's overhead next to the bare engine.
+    """
     # deasna has constant epoch volume, so requests_simulated is exact.
     base = SimConfig(workload="deasna", num_osds=20, policy="cmt")
     per_epoch = base.requests_per_epoch
@@ -37,13 +42,15 @@ def bench_single_config(requests_target: int = 2_000_000) -> dict:
         epochs=epochs,
         requests_per_epoch=per_epoch,
     )
+    recorders = (TimeSeriesRecorder(),) if telemetry else ()
     t0 = time.perf_counter()
-    metrics = simulate(cfg)
+    metrics = simulate(cfg, recorders=recorders)
     elapsed = time.perf_counter() - t0
     simulated = metrics["total_requests"]
     return {
         "config": cfg.cache_name(),
         "epochs": epochs,
+        "telemetry": telemetry,
         "requests_simulated": simulated,
         "seconds": elapsed,
         "requests_per_sec": simulated / elapsed if elapsed > 0 else float("inf"),
@@ -67,7 +74,14 @@ def run_bench(
     warm = sweep(grid, cache_dir=cache_dir, workers=workers)
     warm_s = time.perf_counter() - t0
 
-    single = bench_single_config(200_000 if quick else 2_000_000)
+    target = 200_000 if quick else 2_000_000
+    single = bench_single_config(target)
+    single_telemetry = bench_single_config(target, telemetry=True)
+    overhead = (
+        single_telemetry["seconds"] / single["seconds"] - 1.0
+        if single["seconds"] > 0
+        else 0.0
+    )
 
     report = {
         "edm_version": __version__,
@@ -84,6 +98,8 @@ def run_bench(
             "requests_per_sec_cold": cold.total_requests / cold_s if cold_s > 0 else 0.0,
         },
         "single_config": single,
+        "single_config_telemetry": single_telemetry,
+        "telemetry_overhead_frac": overhead,
     }
     out_path = Path(out_path)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
@@ -118,7 +134,8 @@ def main(argv: list[str] | None = None) -> int:
     sc = report["single_config"]
     print(
         f"single-config: {sc['requests_simulated']:,} requests in {sc['seconds']:.2f}s "
-        f"= {sc['requests_per_sec']:,.0f} req/s"
+        f"= {sc['requests_per_sec']:,.0f} req/s "
+        f"(telemetry overhead {report['telemetry_overhead_frac'] * 100:+.1f}%)"
     )
     print(f"wrote {args.out}")
     return 0

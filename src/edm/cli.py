@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m edm {run,sweep,bench}``."""
+"""Command-line interface: ``python -m edm {run,sweep,report,plot,bench}``."""
 
 from __future__ import annotations
 
@@ -8,10 +8,14 @@ import sys
 from pathlib import Path
 
 from edm import bench as bench_mod
+from edm import report as report_mod
 from edm.cache import DEFAULT_CACHE_DIR
-from edm.config import POLICIES, WORKLOADS, SimConfig
+from edm.config import POLICY_ALIASES, POLICIES, WORKLOADS, SimConfig
 from edm.engine.core import simulate
+from edm.policies import resolve_policy
 from edm.sweep import default_grid, sweep
+
+POLICY_CHOICES = (*POLICIES, *sorted(POLICY_ALIASES))
 
 
 def _csv(value: str) -> list[str]:
@@ -34,11 +38,10 @@ def _overrides(args) -> dict:
 
 
 def cmd_run(args) -> int:
-    policy = "cmt" if args.policy == "edm" else args.policy
     cfg = SimConfig(
         workload=args.workload,
         num_osds=args.osds,
-        policy=policy,
+        policy=resolve_policy(args.policy),
         seed=args.seed,
         **_overrides(args),
     )
@@ -48,11 +51,10 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    policies = ["cmt" if p == "edm" else p for p in _csv(args.policies)]
     grid = default_grid(
         workloads=_csv(args.workloads),
         osds=[int(n) for n in _csv(args.osds)],
-        policies=policies,
+        policies=[resolve_policy(p) for p in _csv(args.policies)],
         seeds=[int(s) for s in _csv(args.seeds)],
         **_overrides(args),
     )
@@ -62,6 +64,8 @@ def cmd_sweep(args) -> int:
         workers=args.workers,
         force=args.force,
         use_cache=not args.no_cache,
+        timeseries_dir=args.timeseries,
+        record_every=args.record_every,
     )
     for cfg, metrics in zip(grid, result.results):
         print(
@@ -73,6 +77,52 @@ def cmd_sweep(args) -> int:
         f"# {len(grid)} configs: {result.simulated} simulated, "
         f"{result.cache_hits} cache hits, {result.cache_invalidated} invalidated"
     )
+    if args.timeseries:
+        print(f"# per-epoch series in {args.timeseries}/ (*.npz)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    loaded = report_mod.load_cached_metrics(args.cache_dir)
+    if not loaded.metrics:
+        print(
+            f"no usable sweep results in {args.cache_dir} "
+            f"({loaded.stale} stale entries); run `python -m edm sweep` first",
+            file=sys.stderr,
+        )
+        return 1
+    text = report_mod.render(report_mod.aggregate(loaded.metrics), fmt=args.format)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    if loaded.stale:
+        print(f"# skipped {loaded.stale} stale cache entries", file=sys.stderr)
+    return 0
+
+
+def cmd_plot(args) -> int:
+    from edm.telemetry import plots
+
+    if not plots.have_matplotlib():
+        print(
+            "matplotlib is not installed; skipping figure rendering "
+            "(pip install 'edm-sim[plot]' to enable)",
+            file=sys.stderr,
+        )
+        return 0
+    series = plots.load_series_dir(args.timeseries_dir)
+    if not series:
+        print(
+            f"no .npz series in {args.timeseries_dir}; "
+            "run `python -m edm sweep --timeseries <dir>` first",
+            file=sys.stderr,
+        )
+        return 1
+    written = plots.render_figures(series, args.out_dir, fmt=args.format)
+    for path in written:
+        print(path)
     return 0
 
 
@@ -87,7 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     run_p = sub.add_parser("run", help="simulate a single configuration")
     run_p.add_argument("--workload", choices=WORKLOADS, default="deasna")
     run_p.add_argument("--osds", type=int, default=16)
-    run_p.add_argument("--policy", choices=[*POLICIES, "edm"], default="cmt")
+    run_p.add_argument("--policy", choices=POLICY_CHOICES, default="cmt")
     run_p.add_argument("--seed", type=int, default=12345)
     _add_engine_args(run_p)
     run_p.set_defaults(func=cmd_run)
@@ -101,8 +151,43 @@ def main(argv: list[str] | None = None) -> int:
     sweep_p.add_argument("--workers", type=int, default=None)
     sweep_p.add_argument("--force", action="store_true", help="ignore cache hits")
     sweep_p.add_argument("--no-cache", action="store_true")
+    sweep_p.add_argument(
+        "--timeseries",
+        metavar="DIR",
+        default=None,
+        help="also write one per-epoch .npz series per config into DIR",
+    )
+    sweep_p.add_argument(
+        "--record-every",
+        type=int,
+        default=1,
+        help="downsample the time series to every N-th epoch (default 1)",
+    )
     _add_engine_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    report_p = sub.add_parser(
+        "report", help="aggregate cached sweep results into the paper's comparison table"
+    )
+    report_p.add_argument(
+        "cache_dir",
+        nargs="?",
+        default=str(DEFAULT_CACHE_DIR),
+        help=f"sweep cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    report_p.add_argument("--format", choices=("markdown", "json"), default="markdown")
+    report_p.add_argument("--out", default=None, help="write to file instead of stdout")
+    report_p.set_defaults(func=cmd_report)
+
+    plot_p = sub.add_parser(
+        "plot", help="render the paper's figures from saved time series (needs matplotlib)"
+    )
+    plot_p.add_argument(
+        "timeseries_dir", help="directory of .npz series from `sweep --timeseries`"
+    )
+    plot_p.add_argument("--out-dir", default="figures", help="output directory (default figures/)")
+    plot_p.add_argument("--format", choices=("png", "svg", "pdf"), default="png")
+    plot_p.set_defaults(func=cmd_plot)
 
     bench_p = sub.add_parser("bench", help="alias for python -m edm.bench")
     bench_p.add_argument("rest", nargs=argparse.REMAINDER)

@@ -14,10 +14,16 @@ from dataclasses import asdict, dataclass, field
 
 # Bump when the engine's semantics or the metrics format change, so stale
 # cached results from older engines are never returned.
-ENGINE_VERSION = 1
+# 2: observer-hook engine API; policy aliases canonicalized before hashing.
+ENGINE_VERSION = 2
 
 WORKLOADS = ("deasna", "deasna2", "lair62", "lair62b")
 POLICIES = ("baseline", "cdf", "hdf", "cmt")
+
+# Accepted spellings for canonical policy names.  Aliases are resolved before
+# validation and hashing, so SimConfig(policy="edm") and policy="cmt" are the
+# same config (and hit the same cache entry).
+POLICY_ALIASES = {"edm": "cmt"}
 
 
 @dataclass(frozen=True)
@@ -59,14 +65,32 @@ class SimConfig:
     wear_weight: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.policy in POLICY_ALIASES:
+            object.__setattr__(self, "policy", POLICY_ALIASES[self.policy])
         if self.workload not in WORKLOADS:
             raise ValueError(f"unknown workload {self.workload!r}, expected one of {WORKLOADS}")
         if self.policy not in POLICIES:
-            raise ValueError(f"unknown policy {self.policy!r}, expected one of {POLICIES}")
+            raise ValueError(
+                f"unknown policy {self.policy!r}, expected one of {POLICIES} "
+                f"or an alias in {sorted(POLICY_ALIASES)}"
+            )
         if self.num_osds < 2:
             raise ValueError("num_osds must be >= 2")
         if self.epochs < 1 or self.requests_per_epoch < 1 or self.chunks_per_osd < 1:
             raise ValueError("epochs, requests_per_epoch, chunks_per_osd must be >= 1")
+        if not 0.0 < self.heat_alpha <= 1.0:
+            raise ValueError(f"heat_alpha must be in (0, 1], got {self.heat_alpha}")
+        if not 0.0 < self.load_alpha <= 1.0:
+            raise ValueError(f"load_alpha must be in (0, 1], got {self.load_alpha}")
+        if self.skew < 0:
+            raise ValueError(f"skew must be >= 0, got {self.skew}")
+        if self.migrate_interval < 1:
+            raise ValueError(f"migrate_interval must be >= 1, got {self.migrate_interval}")
+        if self.max_migrations_per_interval < 1:
+            raise ValueError(
+                "max_migrations_per_interval must be >= 1, "
+                f"got {self.max_migrations_per_interval}"
+            )
 
     @property
     def num_chunks(self) -> int:

@@ -15,12 +15,15 @@ as a unit inside a counts vector.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from edm.config import SimConfig, rng_seed_sequence
 from edm.engine.metrics import MetricsAccumulator
 from edm.engine.state import ClusterState, init_state
 from edm.policies import get_policy
+from edm.telemetry.recorder import EpochStats, Recorder
 from edm.workloads import make_workload
 
 
@@ -57,14 +60,26 @@ def apply_migrations(state: ClusterState, moves: np.ndarray, cfg: SimConfig) -> 
     return int(chunk.size)
 
 
-def simulate(cfg: SimConfig) -> dict:
-    """Run one configuration to completion and return its metrics dict."""
+def simulate(cfg: SimConfig, recorders: Sequence[Recorder] = ()) -> dict:
+    """Run one configuration to completion and return its metrics dict.
+
+    ``recorders`` are observer hooks (see :mod:`edm.telemetry.recorder`)
+    driven alongside the built-in :class:`MetricsAccumulator`; they see every
+    epoch and migration round but never perturb the simulation itself, so a
+    run's metrics are bit-identical with or without them.  Each recorder's
+    ``finalize`` is invoked after the last epoch; its product is read off the
+    recorder (e.g. ``TimeSeriesRecorder.series``), not from this return value.
+    """
     ss = rng_seed_sequence(cfg)
     wl_ss, _reserved = ss.spawn(2)
     workload = make_workload(cfg, np.random.default_rng(wl_ss))
     policy = get_policy(cfg.policy)
     state = init_state(cfg)
-    acc = MetricsAccumulator(cfg)
+    acc = MetricsAccumulator()
+    observers: tuple[Recorder, ...] = (acc, *recorders)
+    for rec in observers:
+        rec.on_run_start(cfg, state)
+    stats = EpochStats()
 
     load = np.zeros(cfg.num_osds)
     for epoch in range(cfg.epochs):
@@ -87,11 +102,20 @@ def simulate(cfg: SimConfig) -> dict:
         state.osd_load_ema *= 1.0 - cfg.load_alpha
         state.osd_load_ema += cfg.load_alpha * load
 
-        acc.observe_epoch(load, counts.sum(), writes.sum())
+        stats.epoch = epoch
+        stats.requests = int(counts.sum())
+        stats.writes = int(writes.sum())
+        for rec in observers:
+            rec.on_epoch(state, load, stats)
 
         if (epoch + 1) % cfg.migrate_interval == 0:
             moves = policy.select(state, cfg)
-            apply_migrations(state, moves, cfg)
+            applied = apply_migrations(state, moves, cfg)
+            for rec in observers:
+                rec.on_migration(state, applied, stats)
 
     state.validate()
-    return acc.finalize(state, load)
+    metrics = acc.finalize(state, load)
+    for rec in recorders:
+        rec.finalize(state, load)
+    return metrics

@@ -7,8 +7,11 @@ Paper metrics:
     plus the CoV of wear; endurance-aware migration should shrink both.
   * migration cost -- total data moved (chunks x chunk size).
 
-All values in the final dict are plain Python ints/floats/lists so results
-pickle stably and compare exactly across processes.
+``MetricsAccumulator`` is the engine's always-on :class:`~edm.telemetry.Recorder`:
+it rides the same observer hooks as user-supplied telemetry, and its
+``finalize`` return value is what ``simulate`` returns.  All values in the
+final dict are plain Python ints/floats/lists so results pickle stably and
+compare exactly across processes.
 """
 
 from __future__ import annotations
@@ -17,10 +20,14 @@ import numpy as np
 
 from edm.config import SimConfig
 from edm.engine.state import ClusterState
+from edm.telemetry.recorder import EpochStats, Recorder
 
 
-class MetricsAccumulator:
-    def __init__(self, cfg: SimConfig):
+class MetricsAccumulator(Recorder):
+    def __init__(self):
+        self.cfg: SimConfig | None = None
+
+    def on_run_start(self, cfg: SimConfig, state: ClusterState) -> None:
         self.cfg = cfg
         self._cov_sum = 0.0
         self._peak_ratio_sum = 0.0
@@ -28,17 +35,19 @@ class MetricsAccumulator:
         self._total_requests = 0
         self._total_writes = 0
 
-    def observe_epoch(self, load: np.ndarray, counts_sum: int, writes_sum: int) -> None:
+    def on_epoch(self, state: ClusterState, load: np.ndarray, stats: EpochStats) -> None:
         mean = load.mean()
         if mean > 0:
             self._cov_sum += float(load.std() / mean)
             self._peak_ratio_sum += float(load.max() / mean)
         self._epochs += 1
-        self._total_requests += int(counts_sum)
-        self._total_writes += int(writes_sum)
+        self._total_requests += stats.requests
+        self._total_writes += stats.writes
 
     def finalize(self, state: ClusterState, final_load: np.ndarray) -> dict:
         cfg = self.cfg
+        if cfg is None:
+            raise RuntimeError("finalize() before on_run_start()")
         wear = state.osd_wear
         wear_mean = float(wear.mean())
         epochs = max(self._epochs, 1)

@@ -7,7 +7,7 @@ are batch array ops rather than per-request Python loops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

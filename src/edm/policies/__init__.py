@@ -1,11 +1,14 @@
 """Policy registry.
 
 ``cmt`` is the paper's EDM scheme (the name the historical cache keys use);
-``edm`` is accepted as an alias.
+``edm`` is accepted as an alias.  ``resolve_policy`` is the one place alias
+spellings become canonical names -- the CLI, ``SimConfig`` validation, and the
+registry all route through the same ``POLICY_ALIASES`` table.
 """
 
 from __future__ import annotations
 
+from edm.config import POLICY_ALIASES
 from edm.policies.base import MigrationPolicy, ThresholdPolicy, EMPTY_MOVES
 from edm.policies.baseline import BaselinePolicy
 from edm.policies.cdf import CdfPolicy
@@ -15,17 +18,25 @@ from edm.policies.cmt import CmtPolicy
 POLICIES: dict[str, type[MigrationPolicy]] = {
     cls.name: cls for cls in (BaselinePolicy, CdfPolicy, HdfPolicy, CmtPolicy)
 }
-POLICIES["edm"] = CmtPolicy
+
+
+def resolve_policy(name: str) -> str:
+    """Canonical policy name for ``name``, resolving aliases (``edm`` -> ``cmt``)."""
+    canonical = POLICY_ALIASES.get(name, name)
+    if canonical not in POLICIES:
+        raise ValueError(
+            f"unknown policy {name!r}; have {sorted(POLICIES)} "
+            f"plus aliases {sorted(POLICY_ALIASES)}"
+        )
+    return canonical
 
 
 def get_policy(name: str) -> MigrationPolicy:
-    try:
-        return POLICIES[name]()
-    except KeyError:
-        raise ValueError(f"unknown policy {name!r}; have {sorted(POLICIES)}") from None
+    return POLICIES[resolve_policy(name)]()
 
 
 __all__ = [
+    "resolve_policy",
     "MigrationPolicy",
     "ThresholdPolicy",
     "EMPTY_MOVES",

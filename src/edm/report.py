@@ -1,0 +1,94 @@
+"""Aggregate cached sweep results into the paper's comparison table.
+
+Reads every metrics pickle in a ``.repro-cache``-style directory, drops stale
+entries (engine-version or config drift, judged by recomputing the content
+hash from the stored config), and aggregates policy x workload cells --
+load CoV, wear spread, wear CoV, migration cost -- averaged across cluster
+sizes and seeds.  Renders markdown (for docs/PRs) or JSON (for tooling).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from edm.config import SimConfig, config_hash
+
+# (metrics key, column header, format spec)
+TABLE_COLUMNS = (
+    ("load_cov_mean", "load CoV", ".4f"),
+    ("load_peak_ratio_mean", "peak ratio", ".3f"),
+    ("wear_spread", "wear spread", ".0f"),
+    ("wear_cov", "wear CoV", ".4f"),
+    ("migration_cost_mb", "migration MB", ".0f"),
+)
+
+
+@dataclass(frozen=True)
+class LoadedResults:
+    """Cached metrics surviving validation, plus how many entries were stale."""
+
+    metrics: list[dict]
+    stale: int
+
+
+def load_cached_metrics(cache_dir: str | Path) -> LoadedResults:
+    """Load every valid metrics payload under ``cache_dir`` (sorted by name)."""
+    rows: list[dict] = []
+    stale = 0
+    for path in sorted(Path(cache_dir).glob("*.pkl")):
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+            cfg = SimConfig.from_dict(payload["config"])
+            fresh = payload["config_hash"] == config_hash(cfg)
+            metrics = payload["metrics"]
+        except Exception:
+            stale += 1
+            continue
+        if not fresh or not isinstance(metrics, dict):
+            stale += 1
+            continue
+        rows.append(metrics)
+    return LoadedResults(metrics=rows, stale=stale)
+
+
+def aggregate(metrics_rows: list[dict]) -> list[dict]:
+    """Mean of each table metric per (workload, policy) cell, sorted."""
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for m in metrics_rows:
+        groups.setdefault((m["workload"], m["policy"]), []).append(m)
+    out = []
+    for (workload, policy), rows in sorted(groups.items()):
+        cell = {"workload": workload, "policy": policy, "runs": len(rows)}
+        for key, _header, _fmt in TABLE_COLUMNS:
+            cell[key] = sum(r[key] for r in rows) / len(rows)
+        out.append(cell)
+    return out
+
+
+def render_markdown(cells: list[dict]) -> str:
+    headers = ["workload", "policy", "runs"] + [h for _k, h, _f in TABLE_COLUMNS]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for c in cells:
+        values = [c["workload"], c["policy"], str(c["runs"])]
+        values += [format(c[key], fmt) for key, _h, fmt in TABLE_COLUMNS]
+        lines.append("| " + " | ".join(values) + " |")
+    return "\n".join(lines)
+
+
+def render_json(cells: list[dict]) -> str:
+    return json.dumps(cells, indent=2)
+
+
+def render(cells: list[dict], fmt: str = "markdown") -> str:
+    if fmt == "markdown":
+        return render_markdown(cells)
+    if fmt == "json":
+        return render_json(cells)
+    raise ValueError(f"unknown report format {fmt!r}, expected 'markdown' or 'json'")

@@ -6,6 +6,13 @@ warm sweep never pays pool startup; only misses are submitted.  Each config
 carries its own seed and derives its RNG streams from its content hash
 (see edm.config.rng_seed_sequence), so results are identical regardless of
 worker count or scheduling order.
+
+With ``timeseries_dir`` set, each worker additionally runs a
+:class:`~edm.telemetry.TimeSeriesRecorder` and serializes its series to
+``<timeseries_dir>/<cache_name>.npz`` *inside the worker*, so large grids
+stream per-epoch series to disk instead of materializing them in the parent.
+A config only counts as cached when both its metrics pickle and (when
+requested) its ``.npz`` series exist.
 """
 
 from __future__ import annotations
@@ -14,10 +21,12 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from itertools import product
+from pathlib import Path
 
 from edm.cache import DEFAULT_CACHE_DIR, ResultCache
 from edm.config import POLICIES, WORKLOADS, SimConfig
 from edm.engine.core import simulate
+from edm.telemetry import TimeSeriesRecorder
 
 
 def default_grid(
@@ -35,18 +44,44 @@ def default_grid(
     ]
 
 
-def _run_config(cfg_dict: dict) -> dict:
-    """Worker entry point (module-level for picklability)."""
-    return simulate(SimConfig.from_dict(cfg_dict))
+def series_path(timeseries_dir: str | os.PathLike, cfg: SimConfig) -> Path:
+    """Where a config's time series lands: ``<dir>/<cache_name>.npz``."""
+    return Path(timeseries_dir) / f"{cfg.cache_name()}.npz"
+
+
+def _run_config(task: tuple[dict, str | None, int]) -> dict:
+    """Worker entry point (module-level for picklability).
+
+    Writes the ``.npz`` series from inside the worker when requested, so only
+    the small metrics dict crosses the process boundary.
+    """
+    cfg_dict, ts_dir, record_every = task
+    cfg = SimConfig.from_dict(cfg_dict)
+    if ts_dir is None:
+        return simulate(cfg)
+    rec = TimeSeriesRecorder(record_every=record_every)
+    metrics = simulate(cfg, recorders=(rec,))
+    rec.series.save_npz(series_path(ts_dir, cfg))
+    return metrics
 
 
 @dataclass
 class SweepResult:
+    """Completed sweep: one metrics dict per input config, in input order."""
+
     results: list[dict]
     cache_hits: int
     cache_misses: int
     cache_invalidated: int
     simulated: int
+
+    def __post_init__(self) -> None:
+        bad = [i for i, r in enumerate(self.results) if not isinstance(r, dict)]
+        if bad:
+            raise TypeError(
+                f"SweepResult.results must be complete metrics dicts; "
+                f"non-dict entries at indices {bad[:8]}"
+            )
 
     @property
     def total_requests(self) -> int:
@@ -59,21 +94,30 @@ def sweep(
     workers: int | None = None,
     force: bool = False,
     use_cache: bool = True,
+    timeseries_dir: str | os.PathLike | None = None,
+    record_every: int = 1,
 ) -> SweepResult:
     """Run every config, returning results in the order given.
 
     ``force=True`` re-simulates even on a cache hit (and refreshes the cache).
     ``workers`` <= 1 runs inline with no pool; the default is the CPU count.
+    ``timeseries_dir`` additionally writes one ``.npz`` per config (sampled
+    every ``record_every`` epochs), re-simulating configs whose series file
+    is missing even when their metrics are cached.
     """
     cache = ResultCache(cache_dir) if use_cache else None
-    results: list[dict | None] = [None] * len(configs)
+    ts_dir = Path(timeseries_dir) if timeseries_dir is not None else None
+    if ts_dir is not None:
+        ts_dir.mkdir(parents=True, exist_ok=True)
+    slots: list[dict | None] = [None] * len(configs)
     pending: list[int] = []
 
     for i, cfg in enumerate(configs):
-        if cache is not None and not force:
+        have_series = ts_dir is None or series_path(ts_dir, cfg).exists()
+        if cache is not None and not force and have_series:
             hit = cache.load(cfg)
             if hit is not None:
-                results[i] = hit
+                slots[i] = hit
                 continue
         pending.append(i)
 
@@ -82,20 +126,20 @@ def sweep(
     workers = max(1, min(workers, len(pending) or 1))
 
     if pending:
+        ts_dir_arg = str(ts_dir) if ts_dir is not None else None
+        tasks = [(configs[i].to_dict(), ts_dir_arg, record_every) for i in pending]
         if workers == 1:
-            computed = [_run_config(configs[i].to_dict()) for i in pending]
+            computed = [_run_config(t) for t in tasks]
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = list(
-                    pool.map(_run_config, [configs[i].to_dict() for i in pending])
-                )
+                computed = list(pool.map(_run_config, tasks))
         for i, metrics in zip(pending, computed):
-            results[i] = metrics
+            slots[i] = metrics
             if cache is not None:
                 cache.store(configs[i], metrics)
 
     return SweepResult(
-        results=results,  # type: ignore[arg-type]
+        results=slots,  # type: ignore[arg-type]  # __post_init__ proves completeness
         cache_hits=cache.hits if cache else 0,
         cache_misses=cache.misses if cache else len(pending),
         cache_invalidated=cache.invalidated if cache else 0,

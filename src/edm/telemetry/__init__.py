@@ -1,0 +1,18 @@
+"""Telemetry: observer hooks, per-epoch time series, exporters, and figures.
+
+The engine accepts any number of :class:`Recorder` observers; the built-in
+:class:`TimeSeriesRecorder` captures the paper's longitudinal curves into a
+:class:`TimeSeries` with ``.npz``/JSON/CSV exporters, and
+:mod:`edm.telemetry.plots` renders the figures (optional matplotlib).
+"""
+
+from edm.telemetry.recorder import EpochStats, Recorder
+from edm.telemetry.timeseries import SERIES_FORMAT_VERSION, TimeSeries, TimeSeriesRecorder
+
+__all__ = [
+    "EpochStats",
+    "Recorder",
+    "SERIES_FORMAT_VERSION",
+    "TimeSeries",
+    "TimeSeriesRecorder",
+]

@@ -1,0 +1,226 @@
+"""Render the paper's evaluation figures from saved time series.
+
+Three figure families, one file per (workload, cluster-size) group:
+
+  * load-balance degree (load CoV) over time, one line per policy
+  * final per-OSD cumulative wear, grouped bars per policy
+  * migration cost per policy (MB moved), bars across workloads
+
+matplotlib is an optional extra: ``have_matplotlib()`` probes for it without
+importing, and the CLI skips plotting gracefully when it is absent.
+
+Color is assigned by entity, never by position: each policy owns a fixed
+categorical slot (CVD-validated palette, adjacent-pair safe), so filtering
+policies out of a sweep never repaints the survivors.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+
+from edm.telemetry.timeseries import TimeSeries
+
+# Fixed categorical slots (validated palette, light mode).  Order here is the
+# slot order; a policy keeps its color no matter which subset is plotted.
+POLICY_COLORS = {
+    "baseline": "#2a78d6",  # blue
+    "cdf": "#eb6834",       # orange
+    "hdf": "#1baf7a",       # aqua
+    "cmt": "#eda100",       # yellow
+}
+_EXTRA_SLOTS = ("#e87ba4", "#008300", "#4a3aa7", "#e34948")  # magenta, green, violet, red
+POLICY_ORDER = tuple(POLICY_COLORS)
+
+_GRID_COLOR = "#e3e2de"
+_TEXT_SECONDARY = "#52514e"
+
+
+def have_matplotlib() -> bool:
+    return importlib.util.find_spec("matplotlib") is not None
+
+
+def _pyplot():
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    return plt
+
+
+def policy_color(policy: str) -> str:
+    """Stable color for a policy; unknown policies draw from the spare slots."""
+    if policy in POLICY_COLORS:
+        return POLICY_COLORS[policy]
+    return _EXTRA_SLOTS[sum(policy.encode()) % len(_EXTRA_SLOTS)]
+
+
+def _policy_sort_key(policy: str):
+    try:
+        return (0, POLICY_ORDER.index(policy))
+    except ValueError:
+        return (1, policy)
+
+
+def _style(ax) -> None:
+    """Recessive axes: no top/right spines, light y-grid under the marks."""
+    ax.spines["top"].set_visible(False)
+    ax.spines["right"].set_visible(False)
+    ax.grid(axis="y", color=_GRID_COLOR, linewidth=0.8)
+    ax.set_axisbelow(True)
+    ax.tick_params(colors=_TEXT_SECONDARY, labelsize=9)
+
+
+def group_series(series_list: list[TimeSeries]) -> dict[tuple[str, int], list[TimeSeries]]:
+    """Group by (workload, num_osds) -- the axes of one paper figure."""
+    groups: dict[tuple[str, int], list[TimeSeries]] = {}
+    for s in series_list:
+        key = (str(s.meta["workload"]), int(s.meta["num_osds"]))
+        groups.setdefault(key, []).append(s)
+    return groups
+
+
+def _by_policy(series_list: list[TimeSeries]) -> dict[str, list[TimeSeries]]:
+    out: dict[str, list[TimeSeries]] = {}
+    for s in series_list:
+        out.setdefault(str(s.meta["policy"]), []).append(s)
+    return dict(sorted(out.items(), key=lambda kv: _policy_sort_key(kv[0])))
+
+
+def plot_load_cov(series_list: list[TimeSeries], out_path: Path, title: str) -> Path:
+    """Load-balance degree over time: one line per policy (seeds overlaid)."""
+    plt = _pyplot()
+    fig, ax = plt.subplots(figsize=(6.4, 3.6))
+    for policy, runs in _by_policy(series_list).items():
+        color = policy_color(policy)
+        for k, s in enumerate(runs):
+            ax.plot(
+                s.epoch,
+                s.load_cov,
+                color=color,
+                linewidth=2,
+                alpha=1.0 if k == 0 else 0.45,
+                label=policy if k == 0 else None,
+            )
+    _style(ax)
+    ax.set_xlabel("epoch", color=_TEXT_SECONDARY)
+    ax.set_ylabel("load CoV (std/mean)", color=_TEXT_SECONDARY)
+    ax.set_title(title, fontsize=11, loc="left")
+    ax.legend(frameon=False, fontsize=9)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    plt.close(fig)
+    return out_path
+
+
+def plot_final_wear(series_list: list[TimeSeries], out_path: Path, title: str) -> Path:
+    """Final cumulative per-OSD wear: grouped bars, one group per OSD."""
+    plt = _pyplot()
+    by_policy = _by_policy(series_list)
+    num_osds = series_list[0].num_osds
+    fig, ax = plt.subplots(figsize=(7.2, 3.6))
+    x = np.arange(num_osds, dtype=np.float64)
+    n_pol = max(len(by_policy), 1)
+    width = 0.8 / n_pol
+    for j, (policy, runs) in enumerate(by_policy.items()):
+        final_wear = np.mean([s.wear[-1] for s in runs], axis=0)
+        ax.bar(
+            x + (j - (n_pol - 1) / 2) * width,
+            final_wear,
+            width=width * 0.9,  # thin 2px-style gap between adjacent bars
+            color=policy_color(policy),
+            label=policy,
+        )
+    _style(ax)
+    ax.set_xticks(x)
+    ax.set_xlabel("OSD", color=_TEXT_SECONDARY)
+    ax.set_ylabel("cumulative wear (erase units)", color=_TEXT_SECONDARY)
+    ax.set_title(title, fontsize=11, loc="left")
+    ax.legend(frameon=False, fontsize=9)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    plt.close(fig)
+    return out_path
+
+
+def migration_cost_mb(series: TimeSeries) -> float:
+    """Total data moved, reconstructed from the series itself."""
+    return float(series.migrations.sum()) * float(series.meta.get("chunk_size_mb", 0.0))
+
+
+def plot_migration_cost(series_list: list[TimeSeries], out_path: Path, title: str) -> Path:
+    """Migration cost per policy, grouped by workload (seed-averaged)."""
+    plt = _pyplot()
+    workloads = sorted({str(s.meta["workload"]) for s in series_list})
+    by_policy = _by_policy(series_list)
+    fig, ax = plt.subplots(figsize=(6.4, 3.6))
+    x = np.arange(len(workloads), dtype=np.float64)
+    n_pol = max(len(by_policy), 1)
+    width = 0.8 / n_pol
+    for j, (policy, runs) in enumerate(by_policy.items()):
+        heights = []
+        for w in workloads:
+            costs = [migration_cost_mb(s) for s in runs if s.meta["workload"] == w]
+            heights.append(float(np.mean(costs)) if costs else 0.0)
+        ax.bar(
+            x + (j - (n_pol - 1) / 2) * width,
+            heights,
+            width=width * 0.9,
+            color=policy_color(policy),
+            label=policy,
+        )
+    _style(ax)
+    ax.set_xticks(x)
+    ax.set_xticklabels(workloads)
+    ax.set_xlabel("workload", color=_TEXT_SECONDARY)
+    ax.set_ylabel("migration cost (MB)", color=_TEXT_SECONDARY)
+    ax.set_title(title, fontsize=11, loc="left")
+    ax.legend(frameon=False, fontsize=9)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    plt.close(fig)
+    return out_path
+
+
+def render_figures(
+    series_list: list[TimeSeries], out_dir: str | Path, fmt: str = "png"
+) -> list[Path]:
+    """Render every figure the loaded series support; returns written paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    groups = group_series(series_list)
+    for (workload, num_osds), runs in sorted(groups.items()):
+        stem = f"{workload}-{num_osds}osd"
+        written.append(
+            plot_load_cov(
+                runs,
+                out_dir / f"load_cov_{stem}.{fmt}",
+                f"Load-balance degree over time — {stem}",
+            )
+        )
+        written.append(
+            plot_final_wear(
+                runs,
+                out_dir / f"wear_final_{stem}.{fmt}",
+                f"Final per-OSD wear — {stem}",
+            )
+        )
+    for num_osds in sorted({int(s.meta["num_osds"]) for s in series_list}):
+        subset = [s for s in series_list if int(s.meta["num_osds"]) == num_osds]
+        written.append(
+            plot_migration_cost(
+                subset,
+                out_dir / f"migration_cost_{num_osds}osd.{fmt}",
+                f"Migration cost per policy — {num_osds} OSDs",
+            )
+        )
+    return written
+
+
+def load_series_dir(ts_dir: str | Path) -> list[TimeSeries]:
+    """Load every ``.npz`` series in a directory (sorted for determinism)."""
+    return [TimeSeries.load_npz(p) for p in sorted(Path(ts_dir).glob("*.npz"))]

@@ -1,0 +1,64 @@
+"""Observer hooks for the simulation engine.
+
+``simulate(cfg, recorders=...)`` drives every recorder through the same
+four-call lifecycle:
+
+    on_run_start(cfg, state)        once, after state init, before epoch 0
+    on_epoch(state, load, stats)    every epoch, after routing/wear/EMA updates
+                                    and *before* that epoch's migration round
+    on_migration(state, applied, stats)
+                                    after each migration interval fires
+    finalize(state, final_load)     once, after the last epoch
+
+The engine's scalar metrics dict is produced by a recorder too
+(:class:`edm.engine.metrics.MetricsAccumulator`), so telemetry, fault
+injection, and future observers all plug in through one surface without
+touching the hot path.
+
+Hot-path contract: ``load`` and ``state`` arrays are the engine's live
+buffers, not copies.  A recorder must copy anything it wants to keep
+(``TimeSeriesRecorder`` writes into preallocated buffers for this reason)
+and must never mutate them.  ``stats`` is a single :class:`EpochStats`
+instance reused across epochs -- read it during the call, don't store it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from edm.config import SimConfig
+    from edm.engine.state import ClusterState
+
+
+@dataclass
+class EpochStats:
+    """Mutable per-epoch scalars, updated in place by the engine each epoch."""
+
+    epoch: int = 0
+    requests: int = 0  # total requests routed this epoch
+    writes: int = 0    # write requests among them
+
+
+class Recorder:
+    """No-op base class defining the observer protocol.
+
+    Subclass and override only the hooks you need; the engine calls every
+    hook on every recorder, so the defaults must stay cheap no-ops.
+    """
+
+    def on_run_start(self, cfg: "SimConfig", state: "ClusterState") -> None:
+        """Called once before the first epoch; allocate buffers here."""
+
+    def on_epoch(self, state: "ClusterState", load: "np.ndarray", stats: EpochStats) -> None:
+        """Called every epoch with that epoch's per-OSD load vector."""
+
+    def on_migration(self, state: "ClusterState", applied: int, stats: EpochStats) -> None:
+        """Called after a migration interval applies ``applied`` moves."""
+
+    def finalize(self, state: "ClusterState", final_load: "np.ndarray") -> Any:
+        """Called once after the last epoch; return this recorder's product."""
+        return None

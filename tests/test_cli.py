@@ -51,3 +51,40 @@ def test_sweep_smoke(tmp_path, capsys):
 def test_unknown_policy_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--policy", "bogus"])
+
+
+def test_sweep_with_timeseries_flag(tmp_path, capsys):
+    ts_dir = tmp_path / "ts"
+    assert (
+        main(
+            [
+                "sweep",
+                "--workloads", "deasna",
+                "--osds", "4",
+                "--policies", "edm",
+                "--seeds", "1",
+                "--epochs", "8",
+                "--requests", "128",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--timeseries", str(ts_dir),
+                "--record-every", "2",
+                "--workers", "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "per-epoch series in" in out
+    # The edm alias lands on the canonical cmt cache key.
+    assert (ts_dir / "deasna-4osd-cmt-s0.02-r1.npz").exists()
+
+
+def test_stable_public_api():
+    import edm
+
+    for name in (
+        "SimConfig", "SweepResult", "Recorder", "TimeSeries", "TimeSeriesRecorder",
+        "config_hash", "default_grid", "resolve_policy", "simulate", "sweep",
+    ):
+        assert name in edm.__all__
+        assert getattr(edm, name) is not None

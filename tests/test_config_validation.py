@@ -1,0 +1,48 @@
+"""SimConfig validation and policy alias resolution."""
+
+import pytest
+
+from edm.config import SimConfig, config_hash
+from edm.policies import get_policy, resolve_policy
+from edm.policies.cmt import CmtPolicy
+
+
+def test_edm_alias_canonicalized_everywhere():
+    cfg = SimConfig(policy="edm")
+    assert cfg.policy == "cmt"
+    assert config_hash(cfg) == config_hash(SimConfig(policy="cmt"))
+    assert cfg.cache_name() == SimConfig(policy="cmt").cache_name()
+    assert resolve_policy("edm") == "cmt"
+    assert resolve_policy("cmt") == "cmt"
+    assert isinstance(get_policy("edm"), CmtPolicy)
+
+
+def test_unknown_policy_rejected_by_resolver_and_config():
+    with pytest.raises(ValueError, match="unknown policy 'bogus'"):
+        resolve_policy("bogus")
+    with pytest.raises(ValueError, match="unknown policy"):
+        SimConfig(policy="bogus")
+
+
+@pytest.mark.parametrize(
+    "field,value,message",
+    [
+        ("heat_alpha", 0.0, "heat_alpha must be in \\(0, 1\\]"),
+        ("heat_alpha", 1.5, "heat_alpha must be in \\(0, 1\\]"),
+        ("load_alpha", -0.1, "load_alpha must be in \\(0, 1\\]"),
+        ("load_alpha", 2.0, "load_alpha must be in \\(0, 1\\]"),
+        ("skew", -0.5, "skew must be >= 0"),
+        ("migrate_interval", 0, "migrate_interval must be >= 1"),
+        ("max_migrations_per_interval", 0, "max_migrations_per_interval must be >= 1"),
+        ("max_migrations_per_interval", -3, "max_migrations_per_interval must be >= 1"),
+    ],
+)
+def test_validation_gaps_rejected(field, value, message):
+    with pytest.raises(ValueError, match=message):
+        SimConfig(**{field: value})
+
+
+def test_boundary_values_accepted():
+    cfg = SimConfig(heat_alpha=1.0, load_alpha=1.0, skew=0.0, migrate_interval=1,
+                    max_migrations_per_interval=1)
+    assert cfg.heat_alpha == 1.0 and cfg.skew == 0.0

@@ -24,7 +24,9 @@ def overloaded_state(cfg, heat_on_src, wear=None):
 
 
 def test_registry_has_all_four_plus_alias():
-    assert set(POLICIES) == {"baseline", "cdf", "hdf", "cmt", "edm"}
+    # The registry holds canonical names only; aliases resolve through
+    # resolve_policy (which get_policy routes through).
+    assert set(POLICIES) == {"baseline", "cdf", "hdf", "cmt"}
     assert isinstance(get_policy("edm"), CmtPolicy)
     with pytest.raises(ValueError):
         get_policy("nope")

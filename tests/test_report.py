@@ -1,0 +1,113 @@
+"""Report aggregation and the report/plot CLI subcommands."""
+
+import json
+
+import pytest
+
+from edm import report
+from edm.cli import main
+from edm.sweep import default_grid, sweep
+from edm.telemetry.plots import POLICY_COLORS, have_matplotlib, policy_color
+
+TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
+
+
+@pytest.fixture
+def swept_cache(tmp_path):
+    grid = default_grid(
+        workloads=("deasna", "lair62"),
+        osds=(4,),
+        policies=("baseline", "cmt"),
+        seeds=(1, 2),
+        **TINY,
+    )
+    sweep(grid, cache_dir=tmp_path / "cache", workers=1, timeseries_dir=tmp_path / "ts")
+    return tmp_path
+
+
+def test_load_and_aggregate(swept_cache):
+    loaded = report.load_cached_metrics(swept_cache / "cache")
+    assert loaded.stale == 0
+    assert len(loaded.metrics) == 8
+    cells = report.aggregate(loaded.metrics)
+    assert [(c["workload"], c["policy"]) for c in cells] == [
+        ("deasna", "baseline"),
+        ("deasna", "cmt"),
+        ("lair62", "baseline"),
+        ("lair62", "cmt"),
+    ]
+    assert all(c["runs"] == 2 for c in cells)  # two seeds averaged per cell
+    baseline = next(c for c in cells if c["policy"] == "baseline")
+    assert baseline["migration_cost_mb"] == 0.0
+
+
+def test_stale_entries_skipped(swept_cache):
+    cache_dir = swept_cache / "cache"
+    victim = sorted(cache_dir.glob("*.pkl"))[0]
+    victim.write_bytes(b"not a pickle")
+    loaded = report.load_cached_metrics(cache_dir)
+    assert loaded.stale == 1
+    assert len(loaded.metrics) == 7
+
+
+def test_render_formats(swept_cache):
+    cells = report.aggregate(report.load_cached_metrics(swept_cache / "cache").metrics)
+    md = report.render(cells, fmt="markdown")
+    assert md.splitlines()[0].startswith("| workload | policy | runs |")
+    parsed = json.loads(report.render(cells, fmt="json"))
+    assert len(parsed) == 4
+    with pytest.raises(ValueError, match="unknown report format"):
+        report.render(cells, fmt="yaml")
+
+
+def test_report_cli_markdown(swept_cache, capsys):
+    assert main(["report", str(swept_cache / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "| workload | policy |" in out
+    assert "cmt" in out
+
+
+def test_report_cli_json_to_file(swept_cache, tmp_path):
+    out_file = tmp_path / "report.json"
+    assert main(["report", str(swept_cache / "cache"), "--format", "json", "--out", str(out_file)]) == 0
+    assert len(json.loads(out_file.read_text())) == 4
+
+
+def test_report_cli_empty_dir(tmp_path, capsys):
+    assert main(["report", str(tmp_path)]) == 1
+    assert "no usable sweep results" in capsys.readouterr().err
+
+
+def test_policy_colors_are_fixed_slots():
+    # Color follows the entity: a policy keeps its slot no matter the subset.
+    assert list(POLICY_COLORS) == ["baseline", "cdf", "hdf", "cmt"]
+    assert policy_color("cmt") == POLICY_COLORS["cmt"]
+    assert policy_color("some-future-policy") not in POLICY_COLORS.values()
+
+
+@pytest.mark.skipif(have_matplotlib(), reason="matplotlib installed; skip-path untestable")
+def test_plot_cli_skips_without_matplotlib(swept_cache, capsys):
+    assert main(["plot", str(swept_cache / "ts")]) == 0
+    assert "matplotlib is not installed" in capsys.readouterr().err
+
+
+def test_plot_cli_renders_figures(swept_cache, tmp_path):
+    pytest.importorskip("matplotlib")
+    out_dir = tmp_path / "figs"
+    assert main(["plot", str(swept_cache / "ts"), "--out-dir", str(out_dir)]) == 0
+    names = {p.name for p in out_dir.iterdir()}
+    assert names == {
+        "load_cov_deasna-4osd.png",
+        "load_cov_lair62-4osd.png",
+        "wear_final_deasna-4osd.png",
+        "wear_final_lair62-4osd.png",
+        "migration_cost_4osd.png",
+    }
+    assert all((out_dir / n).stat().st_size > 0 for n in names)
+
+
+def test_plot_cli_empty_dir(tmp_path, capsys):
+    pytest.importorskip("matplotlib")
+    (tmp_path / "empty").mkdir()
+    assert main(["plot", str(tmp_path / "empty")]) == 1
+    assert "no .npz series" in capsys.readouterr().err

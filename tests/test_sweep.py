@@ -2,8 +2,7 @@
 
 import pytest
 
-from edm.config import SimConfig
-from edm.sweep import default_grid, sweep
+from edm.sweep import SweepResult, default_grid, sweep
 
 TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
 
@@ -58,6 +57,19 @@ def test_no_cache_mode(tmp_path):
     res = sweep(grid, cache_dir=tmp_path, workers=1, use_cache=False)
     assert res.simulated == 2
     assert list(tmp_path.iterdir()) == []
+
+
+def test_sweep_result_rejects_incomplete_results(tmp_path):
+    grid = tiny_grid()[:1]
+    ok = sweep(grid, cache_dir=tmp_path, workers=1)
+    with pytest.raises(TypeError, match="non-dict entries at indices \\[1\\]"):
+        SweepResult(
+            results=[ok.results[0], None],
+            cache_hits=0,
+            cache_misses=2,
+            cache_invalidated=0,
+            simulated=2,
+        )
 
 
 def test_results_in_config_order(tmp_path):

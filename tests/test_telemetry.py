@@ -1,0 +1,192 @@
+"""Telemetry layer: hook ordering, no-op overhead, series shape, round-trips."""
+
+import numpy as np
+import pytest
+
+from edm.engine.core import simulate
+from edm.sweep import default_grid, series_path, sweep
+from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
+
+
+class EventLog(Recorder):
+    """Records every hook invocation for ordering assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_run_start(self, cfg, state):
+        self.events.append(("start", state.epoch))
+
+    def on_epoch(self, state, load, stats):
+        self.events.append(("epoch", stats.epoch))
+
+    def on_migration(self, state, applied, stats):
+        self.events.append(("migration", stats.epoch, applied))
+
+    def finalize(self, state, final_load):
+        self.events.append(("finalize", state.epoch))
+        return self.events
+
+
+def test_hook_ordering(small_cfg):
+    log = EventLog()
+    simulate(small_cfg, recorders=(log,))
+    events = log.events
+    assert events[0] == ("start", 0)
+    assert events[-1] == ("finalize", small_cfg.epochs - 1)
+
+    epoch_events = [e for e in events if e[0] == "epoch"]
+    assert [e[1] for e in epoch_events] == list(range(small_cfg.epochs))
+
+    migration_events = [e for e in events if e[0] == "migration"]
+    expected_epochs = [
+        e for e in range(small_cfg.epochs) if (e + 1) % small_cfg.migrate_interval == 0
+    ]
+    assert [e[1] for e in migration_events] == expected_epochs
+
+    # Each migration event lands after its epoch's epoch-event.
+    for ev_epoch in expected_epochs:
+        assert events.index(("epoch", ev_epoch)) < next(
+            i for i, e in enumerate(events) if e[0] == "migration" and e[1] == ev_epoch
+        )
+
+
+def test_recorders_do_not_perturb_metrics(small_cfg):
+    """A run with recorders attached is bit-for-bit the zero-recorder run."""
+    bare = simulate(small_cfg)
+    with_recorders = simulate(
+        small_cfg, recorders=(TimeSeriesRecorder(), EventLog())
+    )
+    assert bare == with_recorders
+
+
+@pytest.mark.parametrize("record_every,expected_epochs", [
+    (1, list(range(32))),
+    (4, [0, 4, 8, 12, 16, 20, 24, 28, 31]),
+    (7, [0, 7, 14, 21, 28, 31]),
+    (100, [0, 31]),
+])
+def test_downsampling_epochs(small_cfg, record_every, expected_epochs):
+    rec = TimeSeriesRecorder(record_every=record_every)
+    simulate(small_cfg, recorders=(rec,))
+    assert rec.series.epoch.tolist() == expected_epochs
+
+
+def test_series_shapes_and_consistency(small_cfg):
+    rec = TimeSeriesRecorder(record_every=4)
+    metrics = simulate(small_cfg, recorders=(rec,))
+    s = rec.series
+    t, n = s.num_samples, small_cfg.num_osds
+    assert s.load.shape == s.wear.shape == (t, n)
+    for name in ("load_cov", "load_peak_ratio", "wear_cov", "migrations"):
+        assert getattr(s, name).shape == (t,)
+    assert np.all(np.diff(s.epoch) > 0)
+    # Wear is cumulative, final row is true end-of-run state.
+    assert np.all(np.diff(s.wear, axis=0) >= 0)
+    assert np.allclose(s.wear[-1], metrics["per_osd_wear"])
+    assert int(s.migrations.sum()) == metrics["migrations_total"]
+    assert s.meta["policy"] == small_cfg.policy
+    assert s.meta["record_every"] == 4
+
+
+def test_full_rate_series_matches_metrics_totals(small_cfg):
+    """record_every=1: last interval's moves fold into the final row."""
+    rec = TimeSeriesRecorder()
+    metrics = simulate(small_cfg, recorders=(rec,))
+    s = rec.series
+    assert s.num_samples == small_cfg.epochs
+    assert int(s.migrations.sum()) == metrics["migrations_total"]
+    assert np.allclose(s.wear[-1], metrics["per_osd_wear"])
+
+
+def test_recorder_reusable_across_runs(small_cfg):
+    rec = TimeSeriesRecorder(record_every=2)
+    simulate(small_cfg, recorders=(rec,))
+    first = rec.series
+    simulate(small_cfg, recorders=(rec,))
+    assert np.array_equal(first.load, rec.series.load)
+    assert first.meta == rec.series.meta
+
+
+def test_record_every_validation():
+    with pytest.raises(ValueError, match="record_every"):
+        TimeSeriesRecorder(record_every=0)
+
+
+def test_finalize_requires_run():
+    with pytest.raises(RuntimeError, match="on_run_start"):
+        TimeSeriesRecorder().finalize(None, None)
+
+
+def test_npz_roundtrip(small_cfg, tmp_path):
+    rec = TimeSeriesRecorder(record_every=3)
+    simulate(small_cfg, recorders=(rec,))
+    path = rec.series.save_npz(tmp_path / "series.npz")
+    loaded = TimeSeries.load_npz(path)
+    assert loaded.meta == rec.series.meta
+    for name in ("epoch", "load", "load_cov", "load_peak_ratio", "wear", "wear_cov", "migrations"):
+        assert np.array_equal(getattr(loaded, name), getattr(rec.series, name)), name
+
+
+def test_csv_and_json_export(small_cfg, tmp_path):
+    rec = TimeSeriesRecorder(record_every=8)
+    simulate(small_cfg, recorders=(rec,))
+    s = rec.series
+    csv_path = s.save_csv(tmp_path / "series.csv")
+    lines = csv_path.read_text().strip().splitlines()
+    assert len(lines) == 1 + s.num_samples
+    assert lines[0].startswith("epoch,load_cov,load_peak_ratio,wear_cov,migrations")
+    assert lines[0].count(",") == 4 + 2 * s.num_osds
+
+    json_path = s.save_json(tmp_path / "series.json")
+    import json
+
+    payload = json.loads(json_path.read_text())
+    assert payload["meta"] == s.meta
+    assert payload["epoch"] == s.epoch.tolist()
+    assert payload["wear"] == s.wear.tolist()
+
+
+TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
+
+
+def test_sweep_timeseries_through_process_pool(tmp_path):
+    """Workers serialize series to .npz; parent-side load matches inline run."""
+    grid = default_grid(
+        workloads=("deasna",), osds=(4,), policies=("baseline", "cmt"), seeds=(1,), **TINY
+    )
+    res = sweep(
+        grid,
+        cache_dir=tmp_path / "cache",
+        workers=2,
+        timeseries_dir=tmp_path / "ts",
+        record_every=2,
+    )
+    assert res.simulated == len(grid)
+    for cfg in grid:
+        path = series_path(tmp_path / "ts", cfg)
+        assert path.exists()
+        loaded = TimeSeries.load_npz(path)
+        rec = TimeSeriesRecorder(record_every=2)
+        simulate(cfg, recorders=(rec,))
+        assert loaded.meta == rec.series.meta
+        assert np.array_equal(loaded.load, rec.series.load)
+        assert np.array_equal(loaded.wear, rec.series.wear)
+
+
+def test_sweep_timeseries_cache_semantics(tmp_path):
+    """Warm sweep is a no-op; a deleted .npz forces just that config to rerun."""
+    grid = default_grid(
+        workloads=("deasna",), osds=(4,), policies=("baseline", "cmt"), seeds=(1,), **TINY
+    )
+    ts_dir = tmp_path / "ts"
+    first = sweep(grid, cache_dir=tmp_path / "c", workers=1, timeseries_dir=ts_dir)
+    warm = sweep(grid, cache_dir=tmp_path / "c", workers=1, timeseries_dir=ts_dir)
+    assert warm.simulated == 0
+    assert warm.results == first.results
+
+    series_path(ts_dir, grid[0]).unlink()
+    repaired = sweep(grid, cache_dir=tmp_path / "c", workers=1, timeseries_dir=ts_dir)
+    assert repaired.simulated == 1
+    assert series_path(ts_dir, grid[0]).exists()
+    assert repaired.results == first.results
