@@ -15,24 +15,36 @@ Stable public API (everything in ``__all__``):
     TimeSeries         -- captured series + .npz/JSON/CSV exporters
     resolve_policy     -- canonical policy name (resolves the ``edm`` alias)
     config_hash        -- content hash keying the result cache
+    Tracer             -- span timer: ``simulate(cfg, tracer=Tracer())`` puts
+                          phase timings in ``metrics["timings"]``
+    RunLogWriter       -- structured JSONL run-log emitter (see edm.obs.runlog)
+    read_run_log       -- parse + schema-validate a run log back into records
+    append_history     -- append a bench report to BENCH_history.jsonl
+    compare_reports    -- throughput regression gate between two bench reports
 """
 
 from edm.config import SimConfig, config_hash
 from edm.engine.core import simulate
+from edm.obs import RunLogWriter, Tracer, append_history, compare_reports, read_run_log
 from edm.policies import resolve_policy
 from edm.sweep import SweepResult, default_grid, sweep
 from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "SimConfig",
     "SweepResult",
     "Recorder",
+    "RunLogWriter",
     "TimeSeries",
     "TimeSeriesRecorder",
+    "Tracer",
+    "append_history",
+    "compare_reports",
     "config_hash",
     "default_grid",
+    "read_run_log",
     "resolve_policy",
     "simulate",
     "sweep",

@@ -3,7 +3,15 @@
 Times the full 64-config sweep cold (force re-simulation, cache rewritten)
 and warm (pure cache reads), plus single-config engine throughput, and
 writes ``BENCH_sweep.json`` at the repo root so later PRs have a perf
-trajectory to beat.
+trajectory to beat.  ``--quick`` shrinks the grid for CI smoke and writes
+``BENCH_quick.json`` instead, so toy numbers never clobber the real
+baseline unless ``--out`` says so explicitly.
+
+The perf *history* lives next door: ``--append-history`` appends each
+report (stamped with git SHA + timestamp) to ``BENCH_history.jsonl``, and
+``--compare BASELINE.json [--max-regression 0.15]`` diffs this run's
+throughput against a previous report and exits nonzero on regression --
+the CI perf gate.  See :mod:`edm.obs.history`.
 """
 
 from __future__ import annotations
@@ -19,10 +27,22 @@ from edm import __version__
 from edm.cache import DEFAULT_CACHE_DIR
 from edm.config import SimConfig
 from edm.engine.core import simulate
+from edm.obs import (
+    DEFAULT_HISTORY,
+    append_history,
+    compare_reports,
+    configure_logging,
+    get_logger,
+    load_report,
+)
+from edm.obs.log import level_from_args
 from edm.sweep import default_grid, sweep
 from edm.telemetry import TimeSeriesRecorder
 
 DEFAULT_OUT = Path("BENCH_sweep.json")
+QUICK_OUT = Path("BENCH_quick.json")
+
+log = get_logger("bench")
 
 
 def bench_single_config(requests_target: int = 2_000_000, telemetry: bool = False) -> dict:
@@ -66,10 +86,12 @@ def run_bench(
     overrides = {"epochs": 32, "requests_per_epoch": 1024} if quick else {}
     grid = default_grid(**overrides)
 
+    log.info("cold sweep: %d configs (force re-simulate)", len(grid))
     t0 = time.perf_counter()
     cold = sweep(grid, cache_dir=cache_dir, workers=workers, force=True)
     cold_s = time.perf_counter() - t0
 
+    log.info("warm sweep: pure cache reads")
     t0 = time.perf_counter()
     warm = sweep(grid, cache_dir=cache_dir, workers=workers)
     warm_s = time.perf_counter() - t0
@@ -109,18 +131,52 @@ def run_bench(
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m edm.bench",
-        description="Benchmark the EDM sweep engine (cold vs warm) and write BENCH_sweep.json",
+        description=(
+            "Benchmark the EDM sweep engine (cold vs warm); writes BENCH_sweep.json "
+            "(or BENCH_quick.json under --quick)"
+        ),
     )
-    ap.add_argument("--out", default=str(DEFAULT_OUT), help="output JSON path")
+    ap.add_argument(
+        "--out",
+        default=None,
+        help=f"output JSON path (default {DEFAULT_OUT}, or {QUICK_OUT} with --quick)",
+    )
     ap.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR))
     ap.add_argument("--workers", type=int, default=None)
     ap.add_argument(
         "--quick", action="store_true", help="tiny epochs/requests (CI smoke)"
     )
+    ap.add_argument(
+        "--append-history",
+        nargs="?",
+        const=str(DEFAULT_HISTORY),
+        default=None,
+        metavar="PATH",
+        help=f"append this report (+ git SHA, timestamp) to a JSONL history (default {DEFAULT_HISTORY})",
+    )
+    ap.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="diff throughput against a previous report JSON; exit nonzero on regression",
+    )
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="allowed fractional throughput drop for --compare (default 0.15 = 15%%)",
+    )
+    ap.add_argument("-v", "--verbose", action="count", default=0)
+    ap.add_argument("--log-level", default=None, help="DEBUG/INFO/WARNING/ERROR")
     args = ap.parse_args(argv)
+    configure_logging(level_from_args(args.verbose, args.log_level))
+
+    # Quick mode gets its own default output so toy numbers never silently
+    # overwrite the real BENCH_sweep.json baseline.
+    out = Path(args.out) if args.out else (QUICK_OUT if args.quick else DEFAULT_OUT)
 
     report = run_bench(
-        out_path=Path(args.out),
+        out_path=out,
         cache_dir=Path(args.cache_dir),
         workers=args.workers,
         quick=args.quick,
@@ -137,7 +193,30 @@ def main(argv: list[str] | None = None) -> int:
         f"= {sc['requests_per_sec']:,.0f} req/s "
         f"(telemetry overhead {report['telemetry_overhead_frac'] * 100:+.1f}%)"
     )
-    print(f"wrote {args.out}")
+    log.info("wrote %s", out)
+
+    if args.append_history:
+        entry = append_history(report, path=args.append_history)
+        log.info("appended history entry (git %s) to %s", entry["git_sha"], args.append_history)
+
+    if args.compare:
+        try:
+            baseline = load_report(args.compare)
+            regressions = compare_reports(report, baseline, args.max_regression)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            log.error("cannot compare against %s: %s", args.compare, e)
+            return 2
+        if regressions:
+            for r in regressions:
+                log.error("REGRESSION: %s", r.describe())
+            print(
+                f"FAIL: {len(regressions)} throughput metric(s) regressed more than "
+                f"{args.max_regression * 100:.0f}% vs {args.compare}"
+            )
+            return 1
+        print(
+            f"OK: throughput within {args.max_regression * 100:.0f}% of baseline {args.compare}"
+        )
     return 0
 
 

@@ -1,4 +1,10 @@
-"""Command-line interface: ``python -m edm {run,sweep,report,plot,bench}``."""
+"""Command-line interface: ``python -m edm {run,sweep,report,plot,bench}``.
+
+Primary results (metrics JSON, sweep tables, report output) go to stdout;
+everything diagnostic goes through the ``edm.*`` package logger on stderr,
+controlled by the global ``-v``/``-vv`` and ``--log-level`` flags (accepted
+both before and after the subcommand).
+"""
 
 from __future__ import annotations
 
@@ -12,10 +18,14 @@ from edm import report as report_mod
 from edm.cache import DEFAULT_CACHE_DIR
 from edm.config import POLICY_ALIASES, POLICIES, WORKLOADS, SimConfig
 from edm.engine.core import simulate
+from edm.obs import configure_logging, get_logger
+from edm.obs.log import level_from_args
 from edm.policies import resolve_policy
 from edm.sweep import default_grid, sweep
 
 POLICY_CHOICES = (*POLICIES, *sorted(POLICY_ALIASES))
+
+log = get_logger("cli")
 
 
 def _csv(value: str) -> list[str]:
@@ -66,6 +76,8 @@ def cmd_sweep(args) -> int:
         use_cache=not args.no_cache,
         timeseries_dir=args.timeseries,
         record_every=args.record_every,
+        run_log=args.run_log,
+        progress=args.progress,
     )
     for cfg, metrics in zip(grid, result.results):
         print(
@@ -78,27 +90,30 @@ def cmd_sweep(args) -> int:
         f"{result.cache_hits} cache hits, {result.cache_invalidated} invalidated"
     )
     if args.timeseries:
-        print(f"# per-epoch series in {args.timeseries}/ (*.npz)")
+        log.info("per-epoch series in %s/ (*.npz)", args.timeseries)
+    if args.run_log:
+        log.info("run log appended to %s", args.run_log)
     return 0
 
 
 def cmd_report(args) -> int:
     loaded = report_mod.load_cached_metrics(args.cache_dir)
     if not loaded.metrics:
-        print(
-            f"no usable sweep results in {args.cache_dir} "
-            f"({loaded.stale} stale entries); run `python -m edm sweep` first",
-            file=sys.stderr,
+        log.error(
+            "no usable sweep results in %s (%d stale entries); "
+            "run `python -m edm sweep` first",
+            args.cache_dir,
+            loaded.stale,
         )
         return 1
     text = report_mod.render(report_mod.aggregate(loaded.metrics), fmt=args.format)
     if args.out:
         Path(args.out).write_text(text + "\n")
-        print(f"wrote {args.out}")
+        log.info("wrote %s", args.out)
     else:
         print(text)
     if loaded.stale:
-        print(f"# skipped {loaded.stale} stale cache entries", file=sys.stderr)
+        log.warning("skipped %d stale cache entries", loaded.stale)
     return 0
 
 
@@ -106,18 +121,16 @@ def cmd_plot(args) -> int:
     from edm.telemetry import plots
 
     if not plots.have_matplotlib():
-        print(
+        log.warning(
             "matplotlib is not installed; skipping figure rendering "
-            "(pip install 'edm-sim[plot]' to enable)",
-            file=sys.stderr,
+            "(pip install 'edm-sim[plot]' to enable)"
         )
         return 0
     series = plots.load_series_dir(args.timeseries_dir)
     if not series:
-        print(
-            f"no .npz series in {args.timeseries_dir}; "
-            "run `python -m edm sweep --timeseries <dir>` first",
-            file=sys.stderr,
+        log.error(
+            "no .npz series in %s; run `python -m edm sweep --timeseries <dir>` first",
+            args.timeseries_dir,
         )
         return 1
     written = plots.render_figures(series, args.out_dir, fmt=args.format)
@@ -131,10 +144,24 @@ def cmd_bench(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Shared verbosity flags, accepted before or after the subcommand.
+    # SUPPRESS keeps a subparser from clobbering a value given before it.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help="-v: INFO diagnostics, -vv: DEBUG",
+    )
+    common.add_argument(
+        "--log-level", default=argparse.SUPPRESS, metavar="LEVEL",
+        help="explicit log level (DEBUG/INFO/WARNING/ERROR); overrides -v",
+    )
+
     ap = argparse.ArgumentParser(prog="python -m edm", description="EDM cluster simulator")
+    ap.add_argument("-v", "--verbose", action="count", default=0, help=argparse.SUPPRESS)
+    ap.add_argument("--log-level", default=None, help=argparse.SUPPRESS)
     sub = ap.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="simulate a single configuration")
+    run_p = sub.add_parser("run", parents=[common], help="simulate a single configuration")
     run_p.add_argument("--workload", choices=WORKLOADS, default="deasna")
     run_p.add_argument("--osds", type=int, default=16)
     run_p.add_argument("--policy", choices=POLICY_CHOICES, default="cmt")
@@ -142,7 +169,9 @@ def main(argv: list[str] | None = None) -> int:
     _add_engine_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
-    sweep_p = sub.add_parser("sweep", help="run a config grid (cached, parallel)")
+    sweep_p = sub.add_parser(
+        "sweep", parents=[common], help="run a config grid (cached, parallel)"
+    )
     sweep_p.add_argument("--workloads", default=",".join(WORKLOADS))
     sweep_p.add_argument("--osds", default="16,20")
     sweep_p.add_argument("--policies", default=",".join(POLICIES))
@@ -163,11 +192,25 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="downsample the time series to every N-th epoch (default 1)",
     )
+    sweep_p.add_argument(
+        "--run-log",
+        metavar="PATH",
+        default=None,
+        help="append structured JSONL run records (one run_start/run_end per config, "
+        "emitted from inside workers, plus sweep-level records)",
+    )
+    sweep_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="live done/total + ETA + req/s line on stderr while the sweep runs",
+    )
     _add_engine_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     report_p = sub.add_parser(
-        "report", help="aggregate cached sweep results into the paper's comparison table"
+        "report",
+        parents=[common],
+        help="aggregate cached sweep results into the paper's comparison table",
     )
     report_p.add_argument(
         "cache_dir",
@@ -180,7 +223,9 @@ def main(argv: list[str] | None = None) -> int:
     report_p.set_defaults(func=cmd_report)
 
     plot_p = sub.add_parser(
-        "plot", help="render the paper's figures from saved time series (needs matplotlib)"
+        "plot",
+        parents=[common],
+        help="render the paper's figures from saved time series (needs matplotlib)",
     )
     plot_p.add_argument(
         "timeseries_dir", help="directory of .npz series from `sweep --timeseries`"
@@ -194,6 +239,9 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.set_defaults(func=cmd_bench)
 
     args = ap.parse_args(argv)
+    configure_logging(
+        level_from_args(getattr(args, "verbose", 0), getattr(args, "log_level", None))
+    )
     return args.func(args)
 
 

@@ -22,6 +22,7 @@ import numpy as np
 from edm.config import SimConfig, rng_seed_sequence
 from edm.engine.metrics import MetricsAccumulator
 from edm.engine.state import ClusterState, init_state
+from edm.obs.trace import NULL_TRACER, Tracer
 from edm.policies import get_policy
 from edm.telemetry.recorder import EpochStats, Recorder
 from edm.workloads import make_workload
@@ -60,7 +61,11 @@ def apply_migrations(state: ClusterState, moves: np.ndarray, cfg: SimConfig) -> 
     return int(chunk.size)
 
 
-def simulate(cfg: SimConfig, recorders: Sequence[Recorder] = ()) -> dict:
+def simulate(
+    cfg: SimConfig,
+    recorders: Sequence[Recorder] = (),
+    tracer: Tracer | None = None,
+) -> dict:
     """Run one configuration to completion and return its metrics dict.
 
     ``recorders`` are observer hooks (see :mod:`edm.telemetry.recorder`)
@@ -69,53 +74,72 @@ def simulate(cfg: SimConfig, recorders: Sequence[Recorder] = ()) -> dict:
     run's metrics are bit-identical with or without them.  Each recorder's
     ``finalize`` is invoked after the last epoch; its product is read off the
     recorder (e.g. ``TimeSeriesRecorder.series``), not from this return value.
+
+    ``tracer`` (an :class:`edm.obs.Tracer`) times the run's phases -- workload
+    generation, routing, heat/wear EMA updates, observer fan-out, migration
+    selection -- as ``simulate.*`` spans; when enabled, the aggregated span
+    summary is attached to the returned metrics under ``"timings"``.  The
+    default is the shared :data:`~edm.obs.trace.NULL_TRACER`, whose spans are
+    no-ops, so untraced runs stay on the bare hot path.  Timings never feed
+    back into the simulation: metrics (minus the ``"timings"`` key) are
+    bit-identical with or without tracing.
     """
-    ss = rng_seed_sequence(cfg)
-    wl_ss, _reserved = ss.spawn(2)
-    workload = make_workload(cfg, np.random.default_rng(wl_ss))
-    policy = get_policy(cfg.policy)
-    state = init_state(cfg)
-    acc = MetricsAccumulator()
-    observers: tuple[Recorder, ...] = (acc, *recorders)
-    for rec in observers:
-        rec.on_run_start(cfg, state)
-    stats = EpochStats()
+    tr = tracer if tracer is not None else NULL_TRACER
+    with tr.span("simulate.setup"):
+        ss = rng_seed_sequence(cfg)
+        wl_ss, _reserved = ss.spawn(2)
+        workload = make_workload(cfg, np.random.default_rng(wl_ss))
+        policy = get_policy(cfg.policy)
+        state = init_state(cfg)
+        acc = MetricsAccumulator()
+        observers: tuple[Recorder, ...] = (acc, *recorders)
+        for rec in observers:
+            rec.on_run_start(cfg, state)
+        stats = EpochStats()
 
     load = np.zeros(cfg.num_osds)
     for epoch in range(cfg.epochs):
         state.epoch = epoch
-        counts, writes = workload.epoch_counts(epoch)
-        countsf = counts.astype(np.float64)
-        load = np.bincount(
-            state.chunk_owner, weights=countsf, minlength=cfg.num_osds
-        )
-        wear_inc = np.bincount(
-            state.chunk_owner,
-            weights=writes.astype(np.float64),
-            minlength=cfg.num_osds,
-        )
-        state.osd_wear += wear_inc * cfg.wear_per_write
-        state.chunk_heat *= 1.0 - cfg.heat_alpha
-        state.chunk_heat += cfg.heat_alpha * countsf
-        state.chunk_write_heat *= 1.0 - cfg.heat_alpha
-        state.chunk_write_heat += cfg.heat_alpha * writes
-        state.osd_load_ema *= 1.0 - cfg.load_alpha
-        state.osd_load_ema += cfg.load_alpha * load
+        with tr.span("simulate.workload_gen"):
+            counts, writes = workload.epoch_counts(epoch)
+        with tr.span("simulate.routing"):
+            countsf = counts.astype(np.float64)
+            load = np.bincount(
+                state.chunk_owner, weights=countsf, minlength=cfg.num_osds
+            )
+            wear_inc = np.bincount(
+                state.chunk_owner,
+                weights=writes.astype(np.float64),
+                minlength=cfg.num_osds,
+            )
+        with tr.span("simulate.heat_wear_update"):
+            state.osd_wear += wear_inc * cfg.wear_per_write
+            state.chunk_heat *= 1.0 - cfg.heat_alpha
+            state.chunk_heat += cfg.heat_alpha * countsf
+            state.chunk_write_heat *= 1.0 - cfg.heat_alpha
+            state.chunk_write_heat += cfg.heat_alpha * writes
+            state.osd_load_ema *= 1.0 - cfg.load_alpha
+            state.osd_load_ema += cfg.load_alpha * load
 
-        stats.epoch = epoch
-        stats.requests = int(counts.sum())
-        stats.writes = int(writes.sum())
-        for rec in observers:
-            rec.on_epoch(state, load, stats)
+        with tr.span("simulate.observers"):
+            stats.epoch = epoch
+            stats.requests = int(counts.sum())
+            stats.writes = int(writes.sum())
+            for rec in observers:
+                rec.on_epoch(state, load, stats)
 
         if (epoch + 1) % cfg.migrate_interval == 0:
-            moves = policy.select(state, cfg)
-            applied = apply_migrations(state, moves, cfg)
-            for rec in observers:
-                rec.on_migration(state, applied, stats)
+            with tr.span("simulate.migration"):
+                moves = policy.select(state, cfg)
+                applied = apply_migrations(state, moves, cfg)
+                for rec in observers:
+                    rec.on_migration(state, applied, stats)
 
-    state.validate()
-    metrics = acc.finalize(state, load)
-    for rec in recorders:
-        rec.finalize(state, load)
+    with tr.span("simulate.finalize"):
+        state.validate()
+        metrics = acc.finalize(state, load)
+        for rec in recorders:
+            rec.finalize(state, load)
+    if tr.enabled:
+        metrics["timings"] = tr.summary()
     return metrics

@@ -1,0 +1,52 @@
+"""Runtime observability: tracing, structured run logs, perf history.
+
+Three pillars, all off the hot path by default:
+
+* :mod:`edm.obs.trace` -- :class:`Tracer` span timing (context manager +
+  decorator, monotonic clocks, nested spans); :data:`NULL_TRACER` is the
+  always-off default the engine and sweep instrument against.
+* :mod:`edm.obs.runlog` -- JSONL run logs (:class:`RunLogWriter`,
+  :func:`read_run_log`, :func:`validate_record`): one ``run_start``/``run_end``
+  record per config emitted from inside workers, plus sweep-level records.
+* :mod:`edm.obs.history` -- ``BENCH_history.jsonl`` perf trajectory
+  (:func:`append_history`) and the ``--compare`` regression gate
+  (:func:`compare_reports`).
+
+Plus :mod:`edm.obs.log` (the package logger behind ``-v``/``--log-level``)
+and :mod:`edm.obs.progress` (the live sweep progress line).
+"""
+
+from edm.obs.history import (
+    DEFAULT_HISTORY,
+    Regression,
+    append_history,
+    compare_reports,
+    git_sha,
+    load_report,
+    read_history,
+)
+from edm.obs.log import configure as configure_logging
+from edm.obs.log import get_logger
+from edm.obs.progress import ProgressLine
+from edm.obs.runlog import RunLogWriter, new_id, read_run_log, validate_record
+from edm.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProgressLine",
+    "Regression",
+    "RunLogWriter",
+    "Tracer",
+    "append_history",
+    "compare_reports",
+    "configure_logging",
+    "get_logger",
+    "git_sha",
+    "load_report",
+    "new_id",
+    "read_run_log",
+    "read_history",
+    "validate_record",
+]

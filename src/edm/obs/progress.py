@@ -1,0 +1,64 @@
+"""Live single-line sweep progress.
+
+Renders ``done/total``, elapsed, ETA and cumulative simulated req/s to a
+terminal as results land (``\\r``-rewritten, final newline on close).  Only
+meaningful with the submit/``as_completed`` dispatch in :func:`edm.sweep.sweep`,
+where the parent observes completions one at a time.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds != seconds or seconds < 0 or seconds == float("inf"):  # NaN/neg/inf
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60:02d}:{seconds % 60:02d}"
+
+
+class ProgressLine:
+    """One ``\\r``-rewritten status line; a no-op when ``enabled`` is False."""
+
+    def __init__(self, total: int, enabled: bool = True, stream=None, min_interval: float = 0.1):
+        self.total = total
+        self.enabled = enabled and total > 0
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.done = 0
+        self.requests = 0
+        self._t0 = time.perf_counter()
+        self._last_draw = 0.0
+        self._drew = False
+
+    def advance(self, requests: int = 0) -> None:
+        """One config finished, having simulated ``requests`` requests."""
+        self.done += 1
+        self.requests += requests
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if self.done < self.total and now - self._last_draw < self.min_interval:
+            return
+        self._last_draw = now
+        elapsed = now - self._t0
+        rate = self.requests / elapsed if elapsed > 0 else 0.0
+        eta = elapsed / self.done * (self.total - self.done) if self.done else float("inf")
+        line = (
+            f"\r[{self.done}/{self.total}] "
+            f"{elapsed:5.1f}s elapsed | eta {_fmt_eta(eta)} | {rate:,.0f} req/s"
+        )
+        self.stream.write(line)
+        self.stream.flush()
+        self._drew = True
+
+    def close(self) -> None:
+        """Terminate the live line (writes the final newline if anything drew)."""
+        if self._drew:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._drew = False

@@ -1,0 +1,144 @@
+"""Structured JSONL run logs.
+
+One append-only file records everything a sweep did: a ``sweep_start`` /
+``sweep_end`` pair from the parent process and a ``run_start`` / ``run_end``
+pair per simulated config, emitted *from inside the worker* that ran it
+(mirroring the ``.npz`` streaming path, so the parent never buffers log
+payloads).  Every record is a single JSON object on its own line; writers
+open the file in append mode and emit each record as one ``write`` of one
+``\\n``-terminated line, which keeps concurrent worker appends intact on
+POSIX filesystems.
+
+Record schema (all records)::
+
+    event      "sweep_start" | "sweep_end" | "run_start" | "run_end"
+    ts         unix wall-clock seconds (float)
+    sweep_id   hex id correlating every record of one sweep() call
+    pid        writing process id
+
+``run_*`` records add ``run_id``, ``config`` (cache name), ``config_hash``
+and ``engine_version``; ``run_end`` adds ``wall_s``, ``total_requests``,
+``requests_per_sec`` and ``timings`` (span summary from the worker-side
+tracer).  ``sweep_end`` adds ``wall_s``, the cache counters
+(``cache_hits`` / ``cache_misses`` / ``cache_invalidated``), ``simulated``
+and the parent-side span summary.
+
+Use :func:`read_run_log` to parse a file back and :func:`validate_record`
+to check any single record against the schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+
+EVENTS = ("sweep_start", "sweep_end", "run_start", "run_end")
+
+#: Fields every record must carry.
+BASE_FIELDS = ("event", "ts", "sweep_id", "pid")
+#: Additional required fields per event type.
+EVENT_FIELDS = {
+    "sweep_start": ("configs", "pending"),
+    "sweep_end": (
+        "wall_s",
+        "cache_hits",
+        "cache_misses",
+        "cache_invalidated",
+        "simulated",
+        "timings",
+    ),
+    "run_start": ("run_id", "config", "config_hash", "engine_version"),
+    "run_end": (
+        "run_id",
+        "config",
+        "config_hash",
+        "engine_version",
+        "wall_s",
+        "total_requests",
+        "requests_per_sec",
+        "timings",
+    ),
+}
+
+
+def new_id() -> str:
+    """Random 12-hex id for sweeps and runs."""
+    return uuid.uuid4().hex[:12]
+
+
+class RunLogWriter:
+    """Appends JSONL records to one file; safe to use from many processes.
+
+    Each :meth:`emit` opens the file, writes exactly one line, and closes it,
+    so a writer object is cheap to construct per worker task and never holds
+    a descriptor across fork boundaries.
+    """
+
+    def __init__(self, path: str | os.PathLike, sweep_id: str | None = None):
+        self.path = Path(path)
+        self.sweep_id = sweep_id if sweep_id is not None else new_id()
+
+    def emit(self, event: str, **fields) -> dict:
+        """Write one record; returns the record dict that was written."""
+        if event not in EVENTS:
+            raise ValueError(f"unknown run-log event {event!r}, expected one of {EVENTS}")
+        record = {
+            "event": event,
+            "ts": time.time(),
+            "sweep_id": self.sweep_id,
+            "pid": os.getpid(),
+            **fields,
+        }
+        line = json.dumps(record, sort_keys=False, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(line)
+        return record
+
+
+def validate_record(record: dict) -> list[str]:
+    """Return a list of schema problems with ``record`` (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not dict"]
+    event = record.get("event")
+    if event not in EVENTS:
+        return [f"unknown event {event!r}"]
+    for field in BASE_FIELDS + EVENT_FIELDS[event]:
+        if field not in record:
+            problems.append(f"{event}: missing field {field!r}")
+    if "ts" in record and not isinstance(record["ts"], (int, float)):
+        problems.append("ts is not a number")
+    if "timings" in record and not isinstance(record["timings"], dict):
+        problems.append("timings is not a dict")
+    return problems
+
+
+def read_run_log(path: str | os.PathLike, strict: bool = True) -> list[dict]:
+    """Parse a JSONL run log back into record dicts.
+
+    ``strict=True`` (the default) raises ``ValueError`` on the first
+    malformed line or schema violation; ``strict=False`` skips bad lines.
+    """
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                if strict:
+                    raise ValueError(f"{path}:{lineno}: not JSON: {e}") from e
+                continue
+            problems = validate_record(record)
+            if problems:
+                if strict:
+                    raise ValueError(f"{path}:{lineno}: {'; '.join(problems)}")
+                continue
+            records.append(record)
+    return records

@@ -7,26 +7,45 @@ carries its own seed and derives its RNG streams from its content hash
 (see edm.config.rng_seed_sequence), so results are identical regardless of
 worker count or scheduling order.
 
+Dispatch is ``submit``/``as_completed``: results are cached **as they land**,
+so an interrupted sweep (a poisoned config, a dead worker, Ctrl-C between
+results) keeps every completed config's work -- the next sweep resumes from
+cache.  When any config fails, the remaining futures are still drained and
+stored before the first error is re-raised.
+
 With ``timeseries_dir`` set, each worker additionally runs a
 :class:`~edm.telemetry.TimeSeriesRecorder` and serializes its series to
 ``<timeseries_dir>/<cache_name>.npz`` *inside the worker*, so large grids
 stream per-epoch series to disk instead of materializing them in the parent.
 A config only counts as cached when both its metrics pickle and (when
 requested) its ``.npz`` series exist.
+
+With ``run_log`` set, the same worker-side streaming applies to
+observability: each worker appends ``run_start``/``run_end`` JSONL records
+(run id, config hash, engine version, pid, wall time, span timings) to the
+log, and the parent brackets them with ``sweep_start``/``sweep_end`` records
+carrying cache counters and the parent-side stage spans (cache probe, pool
+startup, result collection).  See :mod:`edm.obs.runlog` for the schema.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from itertools import product
 from pathlib import Path
 
 from edm.cache import DEFAULT_CACHE_DIR, ResultCache
-from edm.config import POLICIES, WORKLOADS, SimConfig
+from edm.config import POLICIES, WORKLOADS, SimConfig, config_hash, ENGINE_VERSION
 from edm.engine.core import simulate
+from edm.obs import NULL_TRACER, ProgressLine, RunLogWriter, Tracer, get_logger, new_id
 from edm.telemetry import TimeSeriesRecorder
+
+__all__ = ["SweepResult", "default_grid", "series_path", "sweep"]
+
+log = get_logger("sweep")
 
 
 def default_grid(
@@ -49,19 +68,65 @@ def series_path(timeseries_dir: str | os.PathLike, cfg: SimConfig) -> Path:
     return Path(timeseries_dir) / f"{cfg.cache_name()}.npz"
 
 
-def _run_config(task: tuple[dict, str | None, int]) -> dict:
+@dataclass(frozen=True)
+class _Task:
+    """One worker unit (picklable; crosses the process boundary)."""
+
+    cfg_dict: dict
+    ts_dir: str | None
+    record_every: int
+    run_log: str | None
+    sweep_id: str
+
+
+def _run_config(task: _Task) -> dict:
     """Worker entry point (module-level for picklability).
 
-    Writes the ``.npz`` series from inside the worker when requested, so only
-    the small metrics dict crosses the process boundary.
+    Writes the ``.npz`` series and the run-log records from inside the
+    worker, so only the small metrics dict crosses the process boundary.
+    With a run log, the worker runs under a fresh tracer and moves the
+    resulting ``"timings"`` summary out of the metrics dict into the
+    ``run_end`` record -- cached metrics stay timing-free and therefore
+    bit-identical across cold and warm sweeps.
     """
-    cfg_dict, ts_dir, record_every = task
-    cfg = SimConfig.from_dict(cfg_dict)
-    if ts_dir is None:
-        return simulate(cfg)
-    rec = TimeSeriesRecorder(record_every=record_every)
-    metrics = simulate(cfg, recorders=(rec,))
-    rec.series.save_npz(series_path(ts_dir, cfg))
+    cfg = SimConfig.from_dict(task.cfg_dict)
+    recorders = ()
+    if task.ts_dir is not None:
+        recorders = (TimeSeriesRecorder(record_every=task.record_every),)
+
+    writer = run_id = None
+    tracer = NULL_TRACER
+    if task.run_log is not None:
+        writer = RunLogWriter(task.run_log, sweep_id=task.sweep_id)
+        run_id = new_id()
+        tracer = Tracer()
+        writer.emit(
+            "run_start",
+            run_id=run_id,
+            config=cfg.cache_name(),
+            config_hash=config_hash(cfg),
+            engine_version=ENGINE_VERSION,
+        )
+
+    t0 = time.perf_counter()
+    metrics = simulate(cfg, recorders=recorders, tracer=tracer)
+    wall_s = time.perf_counter() - t0
+    if recorders:
+        recorders[0].series.save_npz(series_path(task.ts_dir, cfg))
+
+    if writer is not None:
+        timings = metrics.pop("timings", {})
+        writer.emit(
+            "run_end",
+            run_id=run_id,
+            config=cfg.cache_name(),
+            config_hash=config_hash(cfg),
+            engine_version=ENGINE_VERSION,
+            wall_s=wall_s,
+            total_requests=metrics["total_requests"],
+            requests_per_sec=metrics["total_requests"] / wall_s if wall_s > 0 else 0.0,
+            timings=timings,
+        )
     return metrics
 
 
@@ -74,6 +139,7 @@ class SweepResult:
     cache_misses: int
     cache_invalidated: int
     simulated: int
+    timings: dict | None = None  # parent-side sweep.* span summary (None untraced)
 
     def __post_init__(self) -> None:
         bad = [i for i, r in enumerate(self.results) if not isinstance(r, dict)]
@@ -96,6 +162,9 @@ def sweep(
     use_cache: bool = True,
     timeseries_dir: str | os.PathLike | None = None,
     record_every: int = 1,
+    run_log: str | os.PathLike | None = None,
+    progress: bool = False,
+    tracer: Tracer | None = None,
 ) -> SweepResult:
     """Run every config, returning results in the order given.
 
@@ -104,7 +173,22 @@ def sweep(
     ``timeseries_dir`` additionally writes one ``.npz`` per config (sampled
     every ``record_every`` epochs), re-simulating configs whose series file
     is missing even when their metrics are cached.
+    ``run_log`` appends JSONL observability records (see module docstring).
+    ``progress=True`` renders a live done/total + ETA + req/s line on stderr.
+    ``tracer`` times the parent-side stages as ``sweep.*`` spans; a tracer is
+    created implicitly when ``run_log`` is set so the ``sweep_end`` record
+    always carries stage timings.  The summary lands on ``SweepResult.timings``.
     """
+    if tracer is not None:
+        tr = tracer
+    elif run_log is not None:
+        tr = Tracer()
+    else:
+        tr = NULL_TRACER
+    sweep_id = new_id()
+    writer = RunLogWriter(run_log, sweep_id=sweep_id) if run_log is not None else None
+    t_start = time.perf_counter()
+
     cache = ResultCache(cache_dir) if use_cache else None
     ts_dir = Path(timeseries_dir) if timeseries_dir is not None else None
     if ts_dir is not None:
@@ -112,36 +196,83 @@ def sweep(
     slots: list[dict | None] = [None] * len(configs)
     pending: list[int] = []
 
-    for i, cfg in enumerate(configs):
-        have_series = ts_dir is None or series_path(ts_dir, cfg).exists()
-        if cache is not None and not force and have_series:
-            hit = cache.load(cfg)
-            if hit is not None:
-                slots[i] = hit
-                continue
-        pending.append(i)
+    with tr.span("sweep.cache_probe"):
+        for i, cfg in enumerate(configs):
+            have_series = ts_dir is None or series_path(ts_dir, cfg).exists()
+            if cache is not None and not force and have_series:
+                hit = cache.load(cfg)
+                if hit is not None:
+                    slots[i] = hit
+                    continue
+            pending.append(i)
+
+    if writer is not None:
+        writer.emit("sweep_start", configs=len(configs), pending=len(pending))
+    log.info(
+        "sweep %s: %d configs, %d cached, %d to simulate",
+        sweep_id, len(configs), len(configs) - len(pending), len(pending),
+    )
 
     if workers is None:
         workers = os.cpu_count() or 1
     workers = max(1, min(workers, len(pending) or 1))
 
+    meter = ProgressLine(total=len(pending), enabled=progress)
+    first_error: BaseException | None = None
+
+    def _land(i: int, metrics: dict) -> None:
+        slots[i] = metrics
+        if cache is not None:
+            cache.store(configs[i], metrics)
+        meter.advance(metrics.get("total_requests", 0))
+
     if pending:
         ts_dir_arg = str(ts_dir) if ts_dir is not None else None
-        tasks = [(configs[i].to_dict(), ts_dir_arg, record_every) for i in pending]
-        if workers == 1:
-            computed = [_run_config(t) for t in tasks]
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = list(pool.map(_run_config, tasks))
-        for i, metrics in zip(pending, computed):
-            slots[i] = metrics
-            if cache is not None:
-                cache.store(configs[i], metrics)
+        run_log_arg = str(run_log) if run_log is not None else None
+        tasks = [
+            _Task(configs[i].to_dict(), ts_dir_arg, record_every, run_log_arg, sweep_id)
+            for i in pending
+        ]
+        try:
+            if workers == 1:
+                for i, task in zip(pending, tasks):
+                    _land(i, _run_config(task))
+            else:
+                with tr.span("sweep.pool_startup"):
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    futures = {
+                        pool.submit(_run_config, task): i for task, i in zip(tasks, pending)
+                    }
+                with tr.span("sweep.collect"), pool:
+                    for fut in as_completed(futures):
+                        i = futures[fut]
+                        try:
+                            _land(i, fut.result())
+                        except BaseException as e:  # re-raised after the drain
+                            if first_error is None:
+                                first_error = e
+                            log.warning("config %s failed: %s", configs[i].cache_name(), e)
+        finally:
+            meter.close()
+        if first_error is not None:
+            raise first_error
 
-    return SweepResult(
+    result = SweepResult(
         results=slots,  # type: ignore[arg-type]  # __post_init__ proves completeness
         cache_hits=cache.hits if cache else 0,
         cache_misses=cache.misses if cache else len(pending),
         cache_invalidated=cache.invalidated if cache else 0,
         simulated=len(pending),
+        timings=tr.summary() if tr.enabled else None,
     )
+    if writer is not None:
+        writer.emit(
+            "sweep_end",
+            wall_s=time.perf_counter() - t_start,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            cache_invalidated=result.cache_invalidated,
+            simulated=result.simulated,
+            timings=result.timings or {},
+        )
+    return result

@@ -67,3 +67,70 @@ def test_payload_records_hash_and_config(cache, small_cfg):
     payload = pickle.loads(path.read_bytes())
     assert payload["config_hash"] == config_hash(small_cfg)
     assert payload["config"] == small_cfg.to_dict()
+
+
+# --- counter accounting across sweeps ---------------------------------------
+
+from edm.sweep import default_grid, sweep  # noqa: E402
+
+TINY = dict(epochs=8, requests_per_epoch=128, chunks_per_osd=8)
+
+
+def counter_grid():
+    return default_grid(
+        workloads=("deasna",),
+        osds=(4,),
+        policies=("baseline", "cdf", "hdf", "cmt"),
+        seeds=(1,),
+        **TINY,
+    )
+
+
+def test_cold_sweep_counts_only_misses(tmp_path):
+    res = sweep(counter_grid(), cache_dir=tmp_path, workers=1)
+    assert (res.cache_hits, res.cache_misses, res.cache_invalidated) == (0, 4, 0)
+    assert res.simulated == 4
+
+
+def test_warm_sweep_counts_only_hits(tmp_path):
+    grid = counter_grid()
+    sweep(grid, cache_dir=tmp_path, workers=1)
+    res = sweep(grid, cache_dir=tmp_path, workers=1)
+    assert (res.cache_hits, res.cache_misses, res.cache_invalidated) == (4, 0, 0)
+    assert res.simulated == 0
+
+
+def test_mixed_sweep_counts_hits_and_misses(tmp_path):
+    grid = counter_grid()
+    sweep(grid[:2], cache_dir=tmp_path, workers=1)  # pre-warm half
+    res = sweep(grid, cache_dir=tmp_path, workers=1)
+    assert (res.cache_hits, res.cache_misses) == (2, 2)
+    assert res.simulated == 2
+
+
+def test_forced_sweep_probes_nothing(tmp_path):
+    grid = counter_grid()
+    sweep(grid, cache_dir=tmp_path, workers=1)
+    res = sweep(grid, cache_dir=tmp_path, workers=1, force=True)
+    # force skips the cache probe entirely: no hits, no misses, all simulated.
+    assert (res.cache_hits, res.cache_misses, res.cache_invalidated) == (0, 0, 0)
+    assert res.simulated == len(grid)
+
+
+def test_no_cache_sweep_reports_pending_as_misses(tmp_path):
+    grid = counter_grid()[:3]
+    res = sweep(grid, cache_dir=tmp_path, workers=1, use_cache=False)
+    assert (res.cache_hits, res.cache_misses, res.cache_invalidated) == (0, 3, 0)
+    assert res.simulated == 3
+
+
+def test_corrupt_entry_counts_invalidated_and_resimulates(tmp_path):
+    grid = counter_grid()
+    sweep(grid, cache_dir=tmp_path, workers=1)
+    victim = ResultCache(tmp_path).path_for(grid[0])
+    victim.write_bytes(b"\x00 not a pickle")
+    res = sweep(grid, cache_dir=tmp_path, workers=1)
+    assert (res.cache_hits, res.cache_misses, res.cache_invalidated) == (3, 1, 1)
+    assert res.simulated == 1
+    # The corrupt entry was rewritten with a good result.
+    assert ResultCache(tmp_path).load(grid[0]) == res.results[0]

@@ -69,12 +69,14 @@ def test_sweep_with_timeseries_flag(tmp_path, capsys):
                 "--timeseries", str(ts_dir),
                 "--record-every", "2",
                 "--workers", "1",
+                "-v",
             ]
         )
         == 0
     )
-    out = capsys.readouterr().out
-    assert "per-epoch series in" in out
+    # Diagnostics go through the package logger on stderr at -v.
+    err = capsys.readouterr().err
+    assert "per-epoch series in" in err
     # The edm alias lands on the canonical cmt cache key.
     assert (ts_dir / "deasna-4osd-cmt-s0.02-r1.npz").exists()
 

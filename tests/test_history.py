@@ -1,0 +1,162 @@
+"""Perf history append/read and the bench --compare regression gate."""
+
+import json
+
+import pytest
+
+from edm import bench as bench_mod
+from edm.obs import append_history, compare_reports, read_history
+from edm.obs.history import Regression, load_report
+
+
+def fake_report(cold_rps=1_000_000.0, single_rps=30_000_000.0, quick=False) -> dict:
+    """Minimal report with everything bench.main prints and compare gates on."""
+    return {
+        "edm_version": "0.3.0",
+        "quick": quick,
+        "sweep": {
+            "configs": 64,
+            "cold_seconds": 4.0,
+            "warm_seconds": 0.01,
+            "speedup_warm_over_cold": 400.0,
+            "warm_cache_hits": 64,
+            "total_requests_simulated": 4_000_000,
+            "requests_per_sec_cold": cold_rps,
+        },
+        "single_config": {
+            "config": "deasna-20osd-cmt-s0.02-r12345",
+            "epochs": 245,
+            "telemetry": False,
+            "requests_simulated": 2_000_000,
+            "seconds": 0.07,
+            "requests_per_sec": single_rps,
+        },
+        "single_config_telemetry": {"requests_per_sec": single_rps * 0.9},
+        "telemetry_overhead_frac": 0.1,
+    }
+
+
+def test_append_and_read_history(tmp_path):
+    path = tmp_path / "BENCH_history.jsonl"
+    entry1 = append_history(fake_report(), path=path, sha="aaa111")
+    entry2 = append_history(fake_report(cold_rps=2e6), path=path, sha="bbb222")
+    assert entry1["git_sha"] == "aaa111"
+    entries = read_history(path)
+    assert [e["git_sha"] for e in entries] == ["aaa111", "bbb222"]
+    assert entries[1]["report"]["sweep"]["requests_per_sec_cold"] == 2e6
+    assert entries[0]["ts"] <= entries[1]["ts"]
+    # One JSON object per line.
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_compare_within_threshold_passes():
+    base = fake_report()
+    cur = fake_report(cold_rps=950_000.0, single_rps=29_000_000.0)  # ~5% down
+    assert compare_reports(cur, base, max_regression=0.15) == []
+
+
+def test_compare_flags_20pct_regression():
+    base = fake_report()
+    cur = fake_report(cold_rps=800_000.0)  # 20% down on cold sweep only
+    regs = compare_reports(cur, base, max_regression=0.15)
+    assert [r.metric for r in regs] == ["sweep.requests_per_sec_cold"]
+    assert regs[0].change_frac == pytest.approx(-0.2)
+    assert "cold-sweep" in regs[0].describe()
+
+
+def test_compare_improvement_never_flags():
+    base = fake_report()
+    cur = fake_report(cold_rps=5e6, single_rps=9e7)
+    assert compare_reports(cur, base, max_regression=0.0) == []
+
+
+def test_compare_refuses_quick_vs_full():
+    with pytest.raises(ValueError, match="quick"):
+        compare_reports(fake_report(quick=True), fake_report(quick=False))
+
+
+def test_compare_refuses_missing_metric():
+    base = fake_report()
+    del base["sweep"]["requests_per_sec_cold"]
+    with pytest.raises(ValueError, match="baseline report is missing"):
+        compare_reports(fake_report(), base)
+
+
+def test_regression_dataclass_change_frac_zero_baseline():
+    r = Regression(metric="m", label="l", baseline=0.0, current=1.0)
+    assert r.change_frac == 0.0
+
+
+def test_load_report_rejects_non_object(tmp_path):
+    p = tmp_path / "r.json"
+    p.write_text("[1,2,3]")
+    with pytest.raises(ValueError, match="not a bench report"):
+        load_report(p)
+
+
+# --- bench CLI wiring (run_bench monkeypatched: no real simulation) ---------
+
+
+@pytest.fixture
+def patched_bench(monkeypatch):
+    """Capture run_bench calls and control the report it returns."""
+    calls = {}
+
+    def fake_run_bench(out_path, cache_dir, workers, quick):
+        calls["out_path"] = out_path
+        calls["quick"] = quick
+        return fake_report(quick=quick)
+
+    monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
+    return calls
+
+
+def test_bench_compare_gate_exits_nonzero_on_synthetic_regression(
+    tmp_path, patched_bench, monkeypatch
+):
+    # Baseline 25% faster than what the bench will report -> gate trips.
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(fake_report(cold_rps=1_333_334.0, single_rps=4e7)))
+    rc = bench_mod.main(
+        ["--compare", str(baseline), "--max-regression", "0.15", "--out", str(tmp_path / "o.json")]
+    )
+    assert rc == 1
+
+
+def test_bench_compare_gate_passes_within_threshold(tmp_path, patched_bench, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(fake_report(cold_rps=1_050_000.0)))  # 5% faster
+    rc = bench_mod.main(["--compare", str(baseline), "--out", str(tmp_path / "o.json")])
+    assert rc == 0
+    assert "OK: throughput within" in capsys.readouterr().out
+
+
+def test_bench_compare_unreadable_baseline_exits_2(tmp_path, patched_bench):
+    assert bench_mod.main(["--compare", str(tmp_path / "missing.json")]) == 2
+
+
+def test_bench_quick_defaults_to_quick_out(patched_bench):
+    # Satellite fix: --quick must not overwrite the real BENCH_sweep.json.
+    assert bench_mod.main(["--quick"]) == 0
+    assert patched_bench["out_path"] == bench_mod.QUICK_OUT
+    assert patched_bench["quick"] is True
+
+
+def test_bench_full_defaults_to_sweep_out(patched_bench):
+    assert bench_mod.main([]) == 0
+    assert patched_bench["out_path"] == bench_mod.DEFAULT_OUT
+
+
+def test_bench_explicit_out_wins_even_with_quick(tmp_path, patched_bench):
+    out = tmp_path / "custom.json"
+    assert bench_mod.main(["--quick", "--out", str(out)]) == 0
+    assert patched_bench["out_path"] == out
+
+
+def test_bench_append_history(tmp_path, patched_bench):
+    hist = tmp_path / "hist.jsonl"
+    assert bench_mod.main(["--append-history", str(hist), "--out", str(tmp_path / "o.json")]) == 0
+    entries = read_history(hist)
+    assert len(entries) == 1
+    assert entries[0]["report"]["sweep"]["configs"] == 64
+    assert entries[0]["git_sha"]  # present even outside a git checkout ("unknown")

@@ -1,0 +1,148 @@
+"""Run-log JSONL: schema round-trip, worker emission, sweep-level records."""
+
+import json
+import os
+
+import pytest
+
+from edm.config import ENGINE_VERSION, config_hash
+from edm.obs import RunLogWriter, read_run_log, validate_record
+from edm.sweep import default_grid, sweep
+
+TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
+
+
+def tiny_grid(n_policies=2):
+    return default_grid(
+        workloads=("deasna",),
+        osds=(4,),
+        policies=("baseline", "cmt")[:n_policies],
+        seeds=(1,),
+        **TINY,
+    )
+
+
+def test_writer_round_trip(tmp_path):
+    path = tmp_path / "log.jsonl"
+    w = RunLogWriter(path, sweep_id="abc123")
+    w.emit("sweep_start", configs=4, pending=2)
+    w.emit(
+        "run_start",
+        run_id="r1",
+        config="deasna-4osd-cmt-s0.02-r1",
+        config_hash="h" * 64,
+        engine_version=ENGINE_VERSION,
+    )
+    w.emit(
+        "run_end",
+        run_id="r1",
+        config="deasna-4osd-cmt-s0.02-r1",
+        config_hash="h" * 64,
+        engine_version=ENGINE_VERSION,
+        wall_s=0.5,
+        total_requests=4096,
+        requests_per_sec=8192.0,
+        timings={"simulate.routing": {"count": 16, "total_s": 0.1, "mean_s": 0.00625}},
+    )
+    w.emit(
+        "sweep_end",
+        wall_s=1.0,
+        cache_hits=2,
+        cache_misses=2,
+        cache_invalidated=0,
+        simulated=2,
+        timings={},
+    )
+    records = read_run_log(path)
+    assert [r["event"] for r in records] == [
+        "sweep_start", "run_start", "run_end", "sweep_end",
+    ]
+    assert all(r["sweep_id"] == "abc123" for r in records)
+    assert all(r["pid"] == os.getpid() for r in records)
+    assert all(validate_record(r) == [] for r in records)
+
+
+def test_emit_rejects_unknown_event(tmp_path):
+    w = RunLogWriter(tmp_path / "log.jsonl")
+    with pytest.raises(ValueError, match="unknown run-log event"):
+        w.emit("bogus_event")
+
+
+def test_validate_record_flags_missing_fields():
+    problems = validate_record({"event": "run_end", "ts": 1.0, "sweep_id": "s", "pid": 1})
+    assert any("wall_s" in p for p in problems)
+    assert any("timings" in p for p in problems)
+    assert validate_record({"event": "nope"}) == ["unknown event 'nope'"]
+    assert validate_record([1, 2]) == ["record is list, not dict"]
+
+
+def test_read_strict_raises_on_corrupt_line(tmp_path):
+    path = tmp_path / "log.jsonl"
+    RunLogWriter(path, sweep_id="s").emit("sweep_start", configs=1, pending=1)
+    with open(path, "a") as f:
+        f.write("{not json\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        read_run_log(path)
+    assert len(read_run_log(path, strict=False)) == 1
+
+
+def test_sweep_emits_one_run_pair_per_simulated_config(tmp_path):
+    grid = tiny_grid()
+    path = tmp_path / "run.jsonl"
+    sweep(grid, cache_dir=tmp_path / "c", workers=1, run_log=path)
+    records = read_run_log(path)
+    events = [r["event"] for r in records]
+    assert events[0] == "sweep_start"
+    assert events[-1] == "sweep_end"
+    starts = [r for r in records if r["event"] == "run_start"]
+    ends = [r for r in records if r["event"] == "run_end"]
+    assert len(starts) == len(ends) == len(grid)
+    # run_end records carry identity, throughput, and span timings.
+    by_config = {r["config"]: r for r in ends}
+    for cfg in grid:
+        rec = by_config[cfg.cache_name()]
+        assert rec["config_hash"] == config_hash(cfg)
+        assert rec["engine_version"] == ENGINE_VERSION
+        assert rec["wall_s"] > 0
+        assert rec["total_requests"] == TINY["epochs"] * TINY["requests_per_epoch"]
+        assert rec["requests_per_sec"] > 0
+        assert "simulate.routing" in rec["timings"]
+    # run ids pair starts with ends one-to-one.
+    assert {r["run_id"] for r in starts} == {r["run_id"] for r in ends}
+    # sweep_end carries the cache counters and parent-side stage spans.
+    end = records[-1]
+    assert end["simulated"] == len(grid)
+    assert end["cache_hits"] == 0
+    assert "sweep.cache_probe" in end["timings"]
+
+
+def test_sweep_run_log_records_come_from_worker_processes(tmp_path):
+    grid = tiny_grid()
+    path = tmp_path / "run.jsonl"
+    sweep(grid, cache_dir=tmp_path / "c", workers=2, run_log=path)
+    records = read_run_log(path)
+    run_pids = {r["pid"] for r in records if r["event"].startswith("run_")}
+    sweep_pids = {r["pid"] for r in records if r["event"].startswith("sweep_")}
+    assert sweep_pids == {os.getpid()}
+    assert run_pids and os.getpid() not in run_pids  # emitted inside workers
+    # Every line parses as valid JSON on its own (concurrent appends intact).
+    for line in path.read_text().splitlines():
+        assert validate_record(json.loads(line)) == []
+
+
+def test_warm_sweep_logs_no_run_records(tmp_path):
+    grid = tiny_grid()
+    sweep(grid, cache_dir=tmp_path / "c", workers=1)
+    path = tmp_path / "warm.jsonl"
+    res = sweep(grid, cache_dir=tmp_path / "c", workers=1, run_log=path)
+    assert res.cache_hits == len(grid)
+    events = [r["event"] for r in read_run_log(path)]
+    assert events == ["sweep_start", "sweep_end"]
+
+
+def test_cached_metrics_never_contain_timings(tmp_path):
+    grid = tiny_grid(n_policies=1)
+    traced = sweep(grid, cache_dir=tmp_path / "c", workers=1, run_log=tmp_path / "l.jsonl")
+    warm = sweep(grid, cache_dir=tmp_path / "c", workers=1)
+    assert "timings" not in traced.results[0]
+    assert warm.results == traced.results

@@ -1,7 +1,13 @@
-"""Sweep runner: grid construction, cache integration, worker-count invariance."""
+"""Sweep runner: grid construction, cache integration, worker-count invariance,
+incremental cache population under failure, and the progress line."""
+
+import io
 
 import pytest
 
+from edm.cache import ResultCache
+from edm.config import SimConfig
+from edm.obs import ProgressLine
 from edm.sweep import SweepResult, default_grid, sweep
 
 TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
@@ -79,3 +85,82 @@ def test_results_in_config_order(tmp_path):
         assert metrics["workload"] == cfg.workload
         assert metrics["policy"] == cfg.policy
         assert metrics["num_osds"] == cfg.num_osds
+
+
+def poisoned_config(seed=999) -> SimConfig:
+    """A config that validates in the parent but blows up in the worker.
+
+    Bypassing the frozen dataclass lets the bad workload name survive until
+    ``SimConfig.from_dict`` re-validates it inside the worker process --
+    simulating a config whose simulation dies mid-sweep.
+    """
+    cfg = SimConfig(
+        workload="deasna", num_osds=4, policy="baseline", seed=seed, **TINY
+    )
+    object.__setattr__(cfg, "workload", "poisoned")
+    return cfg
+
+
+def test_interrupted_pool_sweep_keeps_completed_work(tmp_path):
+    # Satellite fix: results are cached AS THEY LAND, so a poisoned config
+    # does not throw away the completed configs' work.
+    good = tiny_grid()
+    grid = [*good, poisoned_config()]
+    with pytest.raises(ValueError, match="unknown workload 'poisoned'"):
+        sweep(grid, cache_dir=tmp_path, workers=2)
+    # Every good config's result survived into the cache...
+    probe = ResultCache(tmp_path)
+    assert all(probe.load(cfg) is not None for cfg in good)
+    # ...so re-running the good grid is a pure warm read.
+    warm = sweep(good, cache_dir=tmp_path, workers=2)
+    assert warm.simulated == 0
+    assert warm.cache_hits == len(good)
+
+
+def test_interrupted_inline_sweep_keeps_earlier_work(tmp_path):
+    first, last = tiny_grid()[:2]
+    grid = [first, poisoned_config(), last]
+    with pytest.raises(ValueError, match="unknown workload 'poisoned'"):
+        sweep(grid, cache_dir=tmp_path, workers=1)
+    probe = ResultCache(tmp_path)
+    assert probe.load(first) is not None  # completed before the poison
+    assert probe.load(last) is None       # never reached (inline raises at once)
+
+
+def test_progress_line_renders_and_closes():
+    stream = io.StringIO()
+    meter = ProgressLine(total=2, enabled=True, stream=stream, min_interval=0.0)
+    meter.advance(1000)
+    meter.advance(1000)
+    meter.close()
+    out = stream.getvalue()
+    assert "[1/2]" in out and "[2/2]" in out
+    assert "req/s" in out and "eta" in out
+    assert out.endswith("\n")
+
+
+def test_progress_line_disabled_writes_nothing():
+    stream = io.StringIO()
+    meter = ProgressLine(total=5, enabled=False, stream=stream)
+    meter.advance(100)
+    meter.close()
+    assert stream.getvalue() == ""
+
+
+def test_sweep_progress_smoke(tmp_path, capsys):
+    grid = tiny_grid()[:2]
+    res = sweep(grid, cache_dir=tmp_path, workers=1, progress=True)
+    assert res.simulated == 2
+    err = capsys.readouterr().err
+    assert f"[{len(grid)}/{len(grid)}]" in err
+
+
+def test_sweep_timings_attached_when_traced(tmp_path):
+    from edm.obs import Tracer
+
+    grid = tiny_grid()[:2]
+    untraced = sweep(grid, cache_dir=tmp_path / "a", workers=1)
+    assert untraced.timings is None
+    traced = sweep(grid, cache_dir=tmp_path / "b", workers=1, tracer=Tracer())
+    assert traced.timings is not None
+    assert "sweep.cache_probe" in traced.timings
