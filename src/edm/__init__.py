@@ -25,14 +25,17 @@ Stable public API (everything in ``__all__``):
 
 from edm.config import SimConfig, config_hash
 from edm.engine.core import simulate
+from edm.faults import FaultEvent, FaultPlan
 from edm.obs import RunLogWriter, Tracer, append_history, compare_reports, read_run_log
 from edm.policies import resolve_policy
 from edm.sweep import SweepResult, default_grid, sweep
 from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
+    "FaultEvent",
+    "FaultPlan",
     "SimConfig",
     "SweepResult",
     "Recorder",

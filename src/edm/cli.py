@@ -44,7 +44,21 @@ def _overrides(args) -> dict:
         out["epochs"] = args.epochs
     if args.requests is not None:
         out["requests_per_epoch"] = args.requests
+    if getattr(args, "quick", False):
+        out.setdefault("epochs", 32)
+        out.setdefault("requests_per_epoch", 1024)
     return out
+
+
+def _fault_scenarios(spec: str) -> list[str]:
+    """Split a comma-separated ``--faults`` value into scenario specs.
+
+    Event specs themselves never contain commas (events join with ``;``), so
+    the comma cleanly separates grid-axis scenarios; ``none`` (or an empty
+    entry) names the healthy cluster.
+    """
+    scenarios = [("" if s == "none" else s) for s in _csv(spec)]
+    return scenarios or [""]
 
 
 def cmd_run(args) -> int:
@@ -53,6 +67,7 @@ def cmd_run(args) -> int:
         num_osds=args.osds,
         policy=resolve_policy(args.policy),
         seed=args.seed,
+        faults="" if args.faults == "none" else args.faults,
         **_overrides(args),
     )
     metrics = simulate(cfg)
@@ -66,6 +81,7 @@ def cmd_sweep(args) -> int:
         osds=[int(n) for n in _csv(args.osds)],
         policies=[resolve_policy(p) for p in _csv(args.policies)],
         seeds=[int(s) for s in _csv(args.seeds)],
+        faults=_fault_scenarios(args.faults),
         **_overrides(args),
     )
     result = sweep(
@@ -166,6 +182,12 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--osds", type=int, default=16)
     run_p.add_argument("--policy", choices=POLICY_CHOICES, default="cmt")
     run_p.add_argument("--seed", type=int, default=12345)
+    run_p.add_argument(
+        "--faults",
+        default="",
+        metavar="SPEC",
+        help="fault scenario, e.g. 'fail:3@100;slow:5@50x0.5' ('none' = healthy)",
+    )
     _add_engine_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -203,6 +225,19 @@ def main(argv: list[str] | None = None) -> int:
         "--progress",
         action="store_true",
         help="live done/total + ETA + req/s line on stderr while the sweep runs",
+    )
+    sweep_p.add_argument(
+        "--faults",
+        default="",
+        metavar="SPECS",
+        help="comma-separated fault scenarios as an extra grid axis "
+        "(events within a scenario join with ';'; 'none' = healthy), "
+        "e.g. 'none,fail:3@100;slow:5@50x0.5'",
+    )
+    sweep_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizing: epochs=32, requests=1024 unless given explicitly",
     )
     _add_engine_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)

@@ -15,7 +15,16 @@ from dataclasses import asdict, dataclass, field
 # Bump when the engine's semantics or the metrics format change, so stale
 # cached results from older engines are never returned.
 # 2: observer-hook engine API; policy aliases canonicalized before hashing.
-ENGINE_VERSION = 2
+# 3: fault injection (``faults`` field, alive/capacity state) and CMT
+#    destination scoring normalized by cluster-wide scales.
+ENGINE_VERSION = 3
+
+# Version of the *seed material* fed to rng_seed_sequence.  Deliberately
+# decoupled from ENGINE_VERSION: bumping the cache format must not reseed
+# every workload stream, or results silently change across engine releases.
+# Frozen at 2 so fault-free configs draw the exact streams they always have;
+# bump only to intentionally re-randomize every workload.
+SEED_SCHEMA_VERSION = 2
 
 WORKLOADS = ("deasna", "deasna2", "lair62", "lair62b")
 POLICIES = ("baseline", "cdf", "hdf", "cmt")
@@ -64,6 +73,12 @@ class SimConfig:
     migration_cooldown_epochs: int = 16
     wear_weight: float = 1.0
 
+    # Fault scenario: empty string = healthy cluster.  Parsed and
+    # canonicalized by edm.faults.plan (e.g. "fail:3@100;slow:5@50x0.5"), so
+    # equivalent spellings hash to the same cache entry.  The spec never
+    # feeds the workload RNG: faulted and healthy runs see identical traffic.
+    faults: str = ""
+
     def __post_init__(self) -> None:
         if self.policy in POLICY_ALIASES:
             object.__setattr__(self, "policy", POLICY_ALIASES[self.policy])
@@ -76,8 +91,13 @@ class SimConfig:
             )
         if self.num_osds < 2:
             raise ValueError("num_osds must be >= 2")
-        if self.epochs < 1 or self.requests_per_epoch < 1 or self.chunks_per_osd < 1:
-            raise ValueError("epochs, requests_per_epoch, chunks_per_osd must be >= 1")
+        if self.epochs < 1:
+            raise ValueError(
+                f"epochs must be >= 1, got {self.epochs}: a zero-epoch run has no "
+                "load vector to finalize and never drives observer hooks"
+            )
+        if self.requests_per_epoch < 1 or self.chunks_per_osd < 1:
+            raise ValueError("requests_per_epoch and chunks_per_osd must be >= 1")
         if not 0.0 < self.heat_alpha <= 1.0:
             raise ValueError(f"heat_alpha must be in (0, 1], got {self.heat_alpha}")
         if not 0.0 < self.load_alpha <= 1.0:
@@ -91,6 +111,11 @@ class SimConfig:
                 "max_migrations_per_interval must be >= 1, "
                 f"got {self.max_migrations_per_interval}"
             )
+        if self.faults:
+            from edm.faults import FaultPlan
+
+            plan = FaultPlan.parse(self.faults, num_osds=self.num_osds)
+            object.__setattr__(self, "faults", plan.spec)
 
     @property
     def num_chunks(self) -> int:
@@ -104,8 +129,16 @@ class SimConfig:
         return cls(**d)
 
     def cache_name(self) -> str:
-        """Filename stem matching the historical .repro-cache key format."""
-        return f"{self.workload}-{self.num_osds}osd-{self.policy}-s{self.skew:g}-r{self.seed}"
+        """Filename stem matching the historical .repro-cache key format.
+
+        Fault scenarios append a short spec digest (``-f1a2b3c4d``) so the
+        same base config under different fault plans never collides on
+        filename; healthy configs keep the historical stem byte-for-byte.
+        """
+        stem = f"{self.workload}-{self.num_osds}osd-{self.policy}-s{self.skew:g}-r{self.seed}"
+        if self.faults:
+            stem += f"-f{hashlib.sha256(self.faults.encode()).hexdigest()[:8]}"
+        return stem
 
 
 def config_hash(cfg: SimConfig) -> str:
@@ -115,15 +148,31 @@ def config_hash(cfg: SimConfig) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
+def seed_material_hash(cfg: SimConfig) -> str:
+    """Stable hash of the fields that identify a config's workload streams.
+
+    Unlike :func:`config_hash` (the cache key), this excludes the ``faults``
+    spec -- a fault scenario degrades the *cluster*, never the traffic, so a
+    faulted run replays exactly the healthy run's request stream -- and pins
+    :data:`SEED_SCHEMA_VERSION` instead of :data:`ENGINE_VERSION`, so engine
+    format bumps don't silently reseed every workload.
+    """
+    payload = {"engine_version": SEED_SCHEMA_VERSION, **cfg.to_dict()}
+    payload.pop("faults", None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
 def rng_seed_sequence(cfg: SimConfig):
     """Deterministic per-config seed material.
 
-    Mixes the user seed with the config content hash so two configs sharing a
-    seed (e.g. same seed, different policy) still draw distinct workload
-    streams, while staying reproducible across processes and platforms.
+    Mixes the user seed with the config's seed-material hash so two configs
+    sharing a seed (e.g. same seed, different policy) still draw distinct
+    workload streams, while staying reproducible across processes and
+    platforms.
     """
     import numpy as np
 
-    digest = config_hash(cfg)
+    digest = seed_material_hash(cfg)
     words = [int(digest[i : i + 8], 16) for i in range(0, 32, 8)]
     return np.random.SeedSequence([cfg.seed, *words])

@@ -9,6 +9,13 @@ One epoch is a handful of O(num_chunks) array ops:
   5. every ``migrate_interval`` epochs, let the policy pick migrations and
      apply them as a batch index assignment
 
+With a fault plan configured (``cfg.faults``), epoch boundaries additionally
+step the :class:`~edm.faults.FaultRuntime` before routing: failures trigger
+batch re-placement of the dead OSD's chunks through the active policy's
+destination scoring, slow-disk and hiccup events scale per-OSD capacity, and
+every fired event fans out to recorders via ``on_fault``.  Healthy configs
+skip this path entirely.
+
 There is no per-request Python loop anywhere; a "request" only ever exists
 as a unit inside a counts vector.
 """
@@ -22,8 +29,9 @@ import numpy as np
 from edm.config import SimConfig, rng_seed_sequence
 from edm.engine.metrics import MetricsAccumulator
 from edm.engine.state import ClusterState, init_state
+from edm.faults import FaultPlan, FaultRuntime, effective_load
 from edm.obs.trace import NULL_TRACER, Tracer
-from edm.policies import get_policy
+from edm.policies import MigrationPolicy, get_policy
 from edm.telemetry.recorder import EpochStats, Recorder
 from edm.workloads import make_workload
 
@@ -61,6 +69,39 @@ def apply_migrations(state: ClusterState, moves: np.ndarray, cfg: SimConfig) -> 
     return int(chunk.size)
 
 
+def replace_dead_chunks(
+    state: ClusterState, dead_osd: int, policy: MigrationPolicy, cfg: SimConfig
+) -> int:
+    """Re-place every chunk of a failed OSD; returns how many moved.
+
+    Destinations come from the active policy's ``pick_destination`` scoring
+    over the surviving OSDs (so CMT steers the re-placement burst toward
+    low-wear drives while HDF/CDF/baseline spread purely by load), hottest
+    chunks placed first against a projected effective-load vector.  The burst
+    is forced -- it ignores the per-interval migration budget and the
+    cooldown mask -- but is charged as ordinary migration wear through
+    :func:`apply_migrations`.
+    """
+    chunks = np.flatnonzero(state.chunk_owner == dead_osd)
+    if chunks.size == 0:
+        return 0
+    alive_ids = np.flatnonzero(state.osd_alive)
+    if alive_ids.size == 0:
+        raise RuntimeError(
+            f"OSD {dead_osd} failed but no OSD survives to take its "
+            f"{chunks.size} chunks"
+        )
+    cap = state.osd_capacity
+    proj = effective_load(state.osd_load_ema, cap, state.osd_alive)
+    order = chunks[np.argsort(-state.chunk_heat[chunks], kind="stable")]
+    moves = []
+    for chunk in order:
+        dst = policy.pick_destination(alive_ids, proj, state, cfg)
+        moves.append((int(chunk), dst))
+        proj[dst] += state.chunk_heat[chunk] / cap[dst]
+    return apply_migrations(state, np.asarray(moves, dtype=np.int64), cfg)
+
+
 def simulate(
     cfg: SimConfig,
     recorders: Sequence[Recorder] = (),
@@ -91,6 +132,8 @@ def simulate(
         workload = make_workload(cfg, np.random.default_rng(wl_ss))
         policy = get_policy(cfg.policy)
         state = init_state(cfg)
+        plan = FaultPlan.parse(cfg.faults, num_osds=cfg.num_osds)
+        faults = FaultRuntime(plan) if plan else None
         acc = MetricsAccumulator()
         observers: tuple[Recorder, ...] = (acc, *recorders)
         for rec in observers:
@@ -100,6 +143,14 @@ def simulate(
     load = np.zeros(cfg.num_osds)
     for epoch in range(cfg.epochs):
         state.epoch = epoch
+        if faults is not None:
+            with tr.span("simulate.faults"):
+                for event in faults.step(state, epoch):
+                    replaced = 0
+                    if event.kind == "fail":
+                        replaced = replace_dead_chunks(state, event.osd, policy, cfg)
+                    for rec in observers:
+                        rec.on_fault(state, event, replaced)
         with tr.span("simulate.workload_gen"):
             counts, writes = workload.epoch_counts(epoch)
         with tr.span("simulate.routing"):

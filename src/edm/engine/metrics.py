@@ -34,15 +34,51 @@ class MetricsAccumulator(Recorder):
         self._epochs = 0
         self._total_requests = 0
         self._total_writes = 0
+        # Degraded-mode tracking (only exercised when cfg.faults is set, so
+        # healthy runs keep their historical metrics dict bit-for-bit).
+        self._faulted = bool(cfg.faults)
+        self._fault_counts = {"fail": 0, "slow": 0, "hiccup": 0}
+        self._replaced_total = 0
+        self._replacement_burst_max = 0
+        self._cov_alive_sum = 0.0
+        self._recover_baseline = 0.0
+        self._recover_start: int | None = None
+        self._recovery_epochs = -1
+
+    def on_fault(self, state: ClusterState, event, replaced: int) -> None:
+        self._fault_counts[event.kind] += 1
+        if event.kind == "fail":
+            self._replaced_total += replaced
+            self._replacement_burst_max = max(self._replacement_burst_max, replaced)
+            # Arm the recovery clock: how long until per-epoch load CoV over
+            # the survivors returns to (near) its pre-failure running mean.
+            self._recover_baseline = self._cov_sum / max(self._epochs, 1)
+            self._recover_start = state.epoch
+            self._recovery_epochs = -1
 
     def on_epoch(self, state: ClusterState, load: np.ndarray, stats: EpochStats) -> None:
         mean = load.mean()
         if mean > 0:
             self._cov_sum += float(load.std() / mean)
             self._peak_ratio_sum += float(load.max() / mean)
+        if self._faulted:
+            self._track_degraded(state, load, stats)
         self._epochs += 1
         self._total_requests += stats.requests
         self._total_writes += stats.writes
+
+    def _track_degraded(self, state: ClusterState, load: np.ndarray, stats: EpochStats) -> None:
+        alive = state.osd_alive
+        la = load[alive]
+        am = la.mean() if la.size else 0.0
+        cov_alive = float(la.std() / am) if am > 0 else 0.0
+        self._cov_alive_sum += cov_alive
+        if self._recover_start is not None and self._recovery_epochs < 0:
+            # Recovered once survivor CoV is back within 10% of the
+            # pre-failure mean (epsilon keeps a zero baseline reachable).
+            threshold = max(self._recover_baseline * 1.1, self._recover_baseline + 1e-9)
+            if cov_alive <= threshold:
+                self._recovery_epochs = stats.epoch - self._recover_start
 
     def finalize(self, state: ClusterState, final_load: np.ndarray) -> dict:
         cfg = self.cfg
@@ -52,7 +88,7 @@ class MetricsAccumulator(Recorder):
         wear_mean = float(wear.mean())
         epochs = max(self._epochs, 1)
         final_mean = float(final_load.mean())
-        return {
+        out = {
             "workload": cfg.workload,
             "policy": cfg.policy,
             "num_osds": cfg.num_osds,
@@ -76,3 +112,22 @@ class MetricsAccumulator(Recorder):
             "migrations_total": int(state.migrations_total),
             "migration_cost_mb": float(state.migrations_total * cfg.chunk_size_mb),
         }
+        if self._faulted:
+            # Degraded-mode metrics, present only for faulted configs so
+            # healthy metrics dicts stay bit-identical to the fault-unaware
+            # engine.  ``*_alive`` variants exclude dead OSDs (a dead OSD's
+            # frozen zero load would otherwise inflate CoV forever).
+            alive = state.osd_alive
+            aw = wear[alive]
+            awm = float(aw.mean()) if aw.size else 0.0
+            out["faults"] = cfg.faults
+            out["fault_failures"] = self._fault_counts["fail"]
+            out["fault_slow_events"] = self._fault_counts["slow"]
+            out["fault_hiccups"] = self._fault_counts["hiccup"]
+            out["replacement_moves_total"] = int(self._replaced_total)
+            out["replacement_burst_max"] = int(self._replacement_burst_max)
+            out["fault_recovery_epochs"] = int(self._recovery_epochs)
+            out["load_cov_alive_mean"] = self._cov_alive_sum / epochs
+            out["wear_cov_alive"] = float(aw.std() / awm) if awm > 0 else 0.0
+            out["osds_alive_final"] = int(alive.sum())
+        return out

@@ -26,8 +26,18 @@ class ClusterState:
     # Per-OSD
     osd_wear: np.ndarray             # float64 [N], cumulative erase-count units
     osd_load_ema: np.ndarray         # float64 [N], EMA of per-epoch load
+    # Fault state (healthy defaults filled in by __post_init__)
+    osd_alive: np.ndarray = None     # bool [N], False once an OSD has failed
+    osd_capacity: np.ndarray = None  # float64 [N], capacity multiplier (0 = dead)
+    degraded: bool = False           # True while any OSD is dead or off-nominal
     epoch: int = 0
     migrations_total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.osd_alive is None:
+            self.osd_alive = np.ones(self.num_osds, dtype=bool)
+        if self.osd_capacity is None:
+            self.osd_capacity = np.ones(self.num_osds)
 
     def validate(self) -> None:
         """Cheap invariant check: every chunk owned by exactly one valid OSD."""
@@ -35,6 +45,16 @@ class ClusterState:
             raise AssertionError("chunk_owner shape drifted")
         if self.chunk_owner.min() < 0 or self.chunk_owner.max() >= self.num_osds:
             raise AssertionError("chunk_owner contains out-of-range OSD id")
+        if self.osd_alive.shape != (self.num_osds,) or self.osd_capacity.shape != (
+            self.num_osds,
+        ):
+            raise AssertionError("osd_alive/osd_capacity shape drifted")
+        if (self.osd_capacity < 0).any():
+            raise AssertionError("osd_capacity contains negative entries")
+        if not self.osd_alive.all():
+            dead = np.flatnonzero(~self.osd_alive)
+            if np.isin(self.chunk_owner, dead).any():
+                raise AssertionError("dead OSD still owns chunks (re-placement missed)")
 
     def eligible_mask(self, cfg: SimConfig) -> np.ndarray:
         """Chunks past their migration cooldown window."""

@@ -1,0 +1,146 @@
+"""Fault plans: deterministic, seed-free schedules of OSD events.
+
+A :class:`FaultPlan` is parsed from a compact spec string (the ``faults``
+field of :class:`~edm.config.SimConfig`, or ``--faults`` on the CLI) and
+fully determines *when* and *how* the cluster degrades -- there is no
+randomness in the fault layer, so a faulted run is exactly as reproducible
+as a healthy one.
+
+Spec grammar (events joined with ``;``, no commas so a comma-separated CLI
+list can carry several scenarios)::
+
+    spec    := event (";" event)*
+    event   := fail | slow | hiccup
+    fail    := "fail:"   OSD "@" EPOCH                      permanent death
+    slow    := "slow:"   OSD "@" EPOCH "x" FACTOR           permanent capacity x FACTOR
+    hiccup  := "hiccup:" OSD "@" EPOCH "+" DURATION "x" FACTOR
+                                                            transient window
+                                                            [EPOCH, EPOCH+DURATION)
+
+Examples::
+
+    fail:3@100                 OSD 3 dies at epoch 100
+    slow:5@50x0.5              OSD 5 halves its capacity from epoch 50 on
+    hiccup:2@60+10x0.25        OSD 2 runs at quarter capacity for epochs 60..69
+    fail:3@100;slow:5@50x0.5   both, one scenario
+
+The empty string (or ``"none"``) is the healthy cluster.  Parsing
+canonicalizes the spec -- events sorted by (epoch, kind, osd), numbers
+normalized -- so two spellings of the same plan produce the same
+``SimConfig`` content hash and hit the same cache entry.
+
+This module is deliberately dependency-free (no engine imports) so the
+config layer can parse and validate specs without import cycles.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+FAULT_KINDS = ("fail", "slow", "hiccup")
+
+_FAIL_RE = re.compile(r"^fail:(\d+)@(\d+)$")
+_SLOW_RE = re.compile(r"^slow:(\d+)@(\d+)x(\d+(?:\.\d+)?)$")
+_HICCUP_RE = re.compile(r"^hiccup:(\d+)@(\d+)\+(\d+)x(\d+(?:\.\d+)?)$")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled OSD event.
+
+    ``factor`` is the capacity multiplier (``slow``/``hiccup`` only);
+    ``duration`` is the hiccup window length in epochs (``hiccup`` only).
+    """
+
+    kind: str
+    osd: int
+    epoch: int
+    factor: float = 1.0
+    duration: int = 0
+
+    def render(self) -> str:
+        """Canonical spec fragment for this event."""
+        if self.kind == "fail":
+            return f"fail:{self.osd}@{self.epoch}"
+        if self.kind == "slow":
+            return f"slow:{self.osd}@{self.epoch}x{self.factor:g}"
+        return f"hiccup:{self.osd}@{self.epoch}+{self.duration}x{self.factor:g}"
+
+
+def _parse_event(text: str) -> FaultEvent:
+    m = _FAIL_RE.match(text)
+    if m:
+        return FaultEvent(kind="fail", osd=int(m.group(1)), epoch=int(m.group(2)))
+    m = _SLOW_RE.match(text)
+    if m:
+        return FaultEvent(
+            kind="slow", osd=int(m.group(1)), epoch=int(m.group(2)), factor=float(m.group(3))
+        )
+    m = _HICCUP_RE.match(text)
+    if m:
+        return FaultEvent(
+            kind="hiccup",
+            osd=int(m.group(1)),
+            epoch=int(m.group(2)),
+            duration=int(m.group(3)),
+            factor=float(m.group(4)),
+        )
+    raise ValueError(
+        f"bad fault event {text!r}; expected 'fail:OSD@EPOCH', 'slow:OSD@EPOCHxFACTOR' "
+        f"or 'hiccup:OSD@EPOCH+DURATIONxFACTOR'"
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, canonically ordered schedule of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`)."""
+        return ";".join(ev.render() for ev in self.events)
+
+    @property
+    def failures(self) -> tuple[FaultEvent, ...]:
+        return tuple(ev for ev in self.events if ev.kind == "fail")
+
+    @classmethod
+    def parse(cls, spec: str, num_osds: int | None = None) -> "FaultPlan":
+        """Parse and validate a spec; ``num_osds`` enables OSD-range checks."""
+        spec = (spec or "").strip()
+        if not spec or spec == "none":
+            return cls()
+        events = [_parse_event(part.strip()) for part in spec.split(";") if part.strip()]
+        events.sort(key=lambda ev: (ev.epoch, ev.kind, ev.osd))
+        plan = cls(events=tuple(events))
+        plan.validate(num_osds=num_osds)
+        return plan
+
+    def validate(self, num_osds: int | None = None) -> None:
+        failed: set[int] = set()
+        for ev in self.events:
+            if num_osds is not None and not 0 <= ev.osd < num_osds:
+                raise ValueError(
+                    f"fault event {ev.render()!r}: OSD {ev.osd} out of range "
+                    f"for a {num_osds}-OSD cluster"
+                )
+            if ev.kind in ("slow", "hiccup") and ev.factor <= 0:
+                raise ValueError(
+                    f"fault event {ev.render()!r}: capacity factor must be > 0"
+                )
+            if ev.kind == "hiccup" and ev.duration < 1:
+                raise ValueError(f"fault event {ev.render()!r}: duration must be >= 1")
+            if ev.kind == "fail":
+                if ev.osd in failed:
+                    raise ValueError(f"OSD {ev.osd} scheduled to fail more than once")
+                failed.add(ev.osd)
+        if num_osds is not None and len(failed) >= num_osds:
+            raise ValueError(
+                f"plan kills all {num_osds} OSDs; at least one must survive"
+            )

@@ -1,0 +1,93 @@
+"""Fault runtime: applies a :class:`~edm.faults.plan.FaultPlan` to live state.
+
+The engine calls :meth:`FaultRuntime.step` once per epoch *before* routing;
+the runtime flips ``osd_alive``, recomputes ``osd_capacity`` (base capacity
+eroded by ``slow`` events, further scaled by any active ``hiccup`` windows,
+zeroed for dead OSDs), and maintains ``state.degraded`` -- the cheap flag
+policies branch on so healthy runs never pay for fault support.
+
+Capacity semantics:
+
+* ``slow`` multiplies the OSD's *base* capacity permanently (two ``slow``
+  events compound).
+* ``hiccup`` scales the current base only inside its window; when the window
+  closes the OSD returns to its base capacity.
+* ``fail`` pins capacity to 0 and ``alive`` to False forever.
+
+This module only touches NumPy arrays on the state object (duck-typed, no
+engine imports), keeping the faults package import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from edm.faults.plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:
+    from edm.engine.state import ClusterState
+
+
+def effective_load(
+    load: np.ndarray, capacity: np.ndarray, alive: np.ndarray
+) -> np.ndarray:
+    """Per-OSD load scaled by capacity: ``load / capacity``, ``inf`` when dead.
+
+    A half-capacity disk serving the same traffic is twice as loaded; a dead
+    disk is infinitely loaded, so it can never be picked as underloaded.
+    Safe under ``-W error::RuntimeWarning``: the division only runs where
+    capacity is positive.
+    """
+    out = np.full(load.shape, np.inf)
+    np.divide(load, capacity, out=out, where=capacity > 0)
+    out[~alive] = np.inf
+    return out
+
+
+class FaultRuntime:
+    """Steps a plan's events into cluster state at epoch boundaries."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._starts: dict[int, list[FaultEvent]] = {}
+        self._ends: dict[int, list[FaultEvent]] = {}
+        for ev in plan.events:
+            self._starts.setdefault(ev.epoch, []).append(ev)
+            if ev.kind == "hiccup":
+                self._ends.setdefault(ev.epoch + ev.duration, []).append(ev)
+        self._base: np.ndarray | None = None
+        self._active_hiccups: list[FaultEvent] = []
+
+    def step(self, state: "ClusterState", epoch: int) -> list[FaultEvent]:
+        """Apply events scheduled for ``epoch``; returns the events that fired.
+
+        Expiring hiccup windows are processed first, then this epoch's new
+        events, in the plan's canonical order -- fully deterministic.
+        """
+        if self._base is None:
+            self._base = np.ones(state.num_osds)
+        changed = False
+        for ev in self._ends.pop(epoch, []):
+            self._active_hiccups.remove(ev)
+            changed = True
+        fired = self._starts.get(epoch, [])
+        for ev in fired:
+            if ev.kind == "fail":
+                state.osd_alive[ev.osd] = False
+            elif ev.kind == "slow":
+                self._base[ev.osd] *= ev.factor
+            else:  # hiccup
+                self._active_hiccups.append(ev)
+            changed = True
+        if changed:
+            cap = self._base.copy()
+            for ev in self._active_hiccups:
+                cap[ev.osd] *= ev.factor
+            cap[~state.osd_alive] = 0.0
+            state.osd_capacity = cap
+            state.degraded = bool(
+                (~state.osd_alive).any() or (cap != 1.0).any()
+            )
+        return list(fired)

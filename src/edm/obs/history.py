@@ -140,6 +140,19 @@ def compare_reports(
             raise ValueError(f"baseline report is missing metric {dotted!r}")
         if cur is None:
             raise ValueError(f"current report is missing metric {dotted!r}")
+        # A zero/negative/non-numeric baseline has no meaningful regression
+        # ratio: comparing against it would either divide by zero or wave
+        # every regression through (anything is >= 0% of 0).  Refuse loudly
+        # instead; bench --compare surfaces this as a clear error + exit 2.
+        if not isinstance(base, (int, float)) or isinstance(base, bool) or base <= 0:
+            raise ValueError(
+                f"baseline metric {dotted!r} is not a positive number (got {base!r}); "
+                "cannot gate on a regression ratio against it"
+            )
+        if not isinstance(cur, (int, float)) or isinstance(cur, bool) or cur < 0:
+            raise ValueError(
+                f"current metric {dotted!r} is not a non-negative number (got {cur!r})"
+            )
         if cur < base * (1.0 - max_regression):
             regressions.append(
                 Regression(metric=dotted, label=label, baseline=float(base), current=float(cur))

@@ -21,7 +21,10 @@ and ``engine_version``; ``run_end`` adds ``wall_s``, ``total_requests``,
 ``requests_per_sec`` and ``timings`` (span summary from the worker-side
 tracer).  ``sweep_end`` adds ``wall_s``, the cache counters
 (``cache_hits`` / ``cache_misses`` / ``cache_invalidated``), ``simulated``
-and the parent-side span summary.
+and the parent-side span summary.  ``fault`` records tag each fired
+fault-injection event with ``run_id``, ``config``, ``kind``
+(fail/slow/hiccup), ``osd``, ``epoch`` and ``replaced`` (chunks re-placed
+off a failed OSD).
 
 Use :func:`read_run_log` to parse a file back and :func:`validate_record`
 to check any single record against the schema.
@@ -35,7 +38,7 @@ import time
 import uuid
 from pathlib import Path
 
-EVENTS = ("sweep_start", "sweep_end", "run_start", "run_end")
+EVENTS = ("sweep_start", "sweep_end", "run_start", "run_end", "fault")
 
 #: Fields every record must carry.
 BASE_FIELDS = ("event", "ts", "sweep_id", "pid")
@@ -61,6 +64,7 @@ EVENT_FIELDS = {
         "requests_per_sec",
         "timings",
     ),
+    "fault": ("run_id", "config", "kind", "osd", "epoch", "replaced"),
 }
 
 

@@ -8,6 +8,14 @@ The shared skeleton: find OSDs whose smoothed load exceeds the cluster mean
 by ``overload_tolerance``, walk their chunks in a policy-defined order, and
 ship each to a policy-chosen underloaded destination until the source is
 back within tolerance or the per-interval budget runs out.
+
+Degraded clusters: when ``state.degraded`` is set (any OSD dead or running
+at off-nominal capacity), selection ranks OSDs by *effective* load --
+``load / capacity``, infinite for dead OSDs -- and masks dead OSDs out of
+both source and destination candidates.  A half-capacity disk therefore
+reads as twice as loaded and sheds chunks; a dead disk can never be picked.
+On a healthy cluster the degraded branch is never taken and every operation
+is bit-identical to the fault-unaware engine.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import numpy as np
 
 from edm.config import SimConfig
 from edm.engine.state import ClusterState
+from edm.faults import effective_load
 
 EMPTY_MOVES = np.empty((0, 2), dtype=np.int64)
 
@@ -29,6 +38,22 @@ class MigrationPolicy(ABC):
     def select(self, state: ClusterState, cfg: SimConfig) -> np.ndarray:
         """Return an int array (k, 2) of (chunk_id, dst_osd) moves."""
 
+    def pick_destination(
+        self,
+        candidates: np.ndarray,
+        proj_load: np.ndarray,
+        state: ClusterState,
+        cfg: SimConfig,
+    ) -> int:
+        """Pick a destination among candidate OSD ids (default: least load).
+
+        Shared by interval selection *and* failure re-placement: when an OSD
+        dies, the engine routes its chunks through the active policy's
+        destination scoring, so even the no-migration baseline has a
+        well-defined answer here.
+        """
+        return int(candidates[np.argmin(proj_load[candidates])])
+
 
 class ThresholdPolicy(MigrationPolicy):
     """Overload-threshold skeleton shared by CDF / HDF / CMT."""
@@ -37,23 +62,21 @@ class ThresholdPolicy(MigrationPolicy):
         """Order candidate chunks on an overloaded OSD (first = first moved)."""
         raise NotImplementedError
 
-    def pick_destination(
-        self,
-        candidates: np.ndarray,
-        proj_load: np.ndarray,
-        state: ClusterState,
-        cfg: SimConfig,
-    ) -> int:
-        """Pick a destination among underloaded OSD ids (default: least load)."""
-        return int(candidates[np.argmin(proj_load[candidates])])
-
     def select(self, state: ClusterState, cfg: SimConfig) -> np.ndarray:
-        proj = state.osd_load_ema.copy()
-        mean = proj.mean()
+        alive = state.osd_alive
+        cap = state.osd_capacity
+        if state.degraded:
+            if not alive.any():
+                return EMPTY_MOVES
+            proj = effective_load(state.osd_load_ema, cap, alive)
+            mean = proj[alive].mean()
+        else:
+            proj = state.osd_load_ema.copy()
+            mean = proj.mean()
         if mean <= 0:
             return EMPTY_MOVES
         high = mean * (1.0 + cfg.overload_tolerance)
-        overloaded = np.flatnonzero(proj > high)
+        overloaded = np.flatnonzero((proj > high) & alive)
         if overloaded.size == 0:
             return EMPTY_MOVES
         eligible = state.eligible_mask(cfg)
@@ -70,18 +93,21 @@ class ThresholdPolicy(MigrationPolicy):
             for chunk in self.chunk_order(mine, state):
                 if budget <= 0 or proj[src] <= high:
                     break
-                under = np.flatnonzero(proj < mean)
+                under = np.flatnonzero((proj < mean) & alive)
                 if under.size == 0:
                     break
                 dst = self.pick_destination(under, proj, state, cfg)
                 heat = state.chunk_heat[chunk]
-                # Never move load onto an OSD that would end up hotter than
-                # the source it came from.
-                if proj[dst] + heat >= proj[src]:
+                # A chunk's load lands scaled by the destination's capacity
+                # (cap == 1.0 everywhere on a healthy cluster, so these
+                # divisions are exact no-ops there).  Never move load onto an
+                # OSD that would end up hotter than the source it came from.
+                heat_dst = heat / cap[dst]
+                if proj[dst] + heat_dst >= proj[src]:
                     continue
                 moves.append((int(chunk), dst))
-                proj[src] -= heat
-                proj[dst] += heat
+                proj[src] -= heat / cap[src]
+                proj[dst] += heat_dst
                 budget -= 1
         if not moves:
             return EMPTY_MOVES

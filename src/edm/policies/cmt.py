@@ -23,9 +23,14 @@ class CmtPolicy(ThresholdPolicy):
     def pick_destination(self, candidates, proj_load, state, cfg):
         load = proj_load[candidates]
         wear = state.osd_wear[candidates]
-        mean_load = proj_load.mean()
+        # Normalize load and wear by *cluster-wide* scales (mean over alive
+        # OSDs), never by the candidate subset: a drive's score -- and hence
+        # the load-vs-wear trade-off -- must not change with who else happens
+        # to be a candidate this round.
+        alive = state.osd_alive
+        mean_load = proj_load[alive].mean() if alive.any() else 0.0
         load_norm = load / mean_load if mean_load > 0 else load
-        wear_scale = wear.mean()
+        wear_scale = state.osd_wear[alive].mean() if alive.any() else 0.0
         wear_norm = wear / wear_scale if wear_scale > 0 else wear
         score = load_norm + cfg.wear_weight * wear_norm
         return int(candidates[np.argmin(score)])

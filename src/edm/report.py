@@ -56,13 +56,18 @@ def load_cached_metrics(cache_dir: str | Path) -> LoadedResults:
 
 
 def aggregate(metrics_rows: list[dict]) -> list[dict]:
-    """Mean of each table metric per (workload, policy) cell, sorted."""
-    groups: dict[tuple[str, str], list[dict]] = {}
+    """Mean of each table metric per (workload, policy, faults) cell, sorted.
+
+    Healthy runs carry no ``faults`` key and land in the ``""`` scenario, so
+    a fault-free cache aggregates exactly as before; fault scenarios become
+    separate rows comparable side by side with their healthy baseline.
+    """
+    groups: dict[tuple[str, str, str], list[dict]] = {}
     for m in metrics_rows:
-        groups.setdefault((m["workload"], m["policy"]), []).append(m)
+        groups.setdefault((m["workload"], m["policy"], m.get("faults", "")), []).append(m)
     out = []
-    for (workload, policy), rows in sorted(groups.items()):
-        cell = {"workload": workload, "policy": policy, "runs": len(rows)}
+    for (workload, policy, faults), rows in sorted(groups.items()):
+        cell = {"workload": workload, "policy": policy, "faults": faults, "runs": len(rows)}
         for key, _header, _fmt in TABLE_COLUMNS:
             cell[key] = sum(r[key] for r in rows) / len(rows)
         out.append(cell)
@@ -70,13 +75,22 @@ def aggregate(metrics_rows: list[dict]) -> list[dict]:
 
 
 def render_markdown(cells: list[dict]) -> str:
-    headers = ["workload", "policy", "runs"] + [h for _k, h, _f in TABLE_COLUMNS]
+    # The faults column only appears once a fault scenario is present, so
+    # healthy-cluster reports keep their historical shape.
+    show_faults = any(c.get("faults") for c in cells)
+    headers = ["workload", "policy"]
+    if show_faults:
+        headers.append("faults")
+    headers += ["runs"] + [h for _k, h, _f in TABLE_COLUMNS]
     lines = [
         "| " + " | ".join(headers) + " |",
         "|" + "|".join("---" for _ in headers) + "|",
     ]
     for c in cells:
-        values = [c["workload"], c["policy"], str(c["runs"])]
+        values = [c["workload"], c["policy"]]
+        if show_faults:
+            values.append(c.get("faults") or "healthy")
+        values.append(str(c["runs"]))
         values += [format(c[key], fmt) for key, _h, fmt in TABLE_COLUMNS]
         lines.append("| " + " | ".join(values) + " |")
     return "\n".join(lines)

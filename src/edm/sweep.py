@@ -41,7 +41,7 @@ from edm.cache import DEFAULT_CACHE_DIR, ResultCache
 from edm.config import POLICIES, WORKLOADS, SimConfig, config_hash, ENGINE_VERSION
 from edm.engine.core import simulate
 from edm.obs import NULL_TRACER, ProgressLine, RunLogWriter, Tracer, get_logger, new_id
-from edm.telemetry import TimeSeriesRecorder
+from edm.telemetry import Recorder, TimeSeriesRecorder
 
 __all__ = ["SweepResult", "default_grid", "series_path", "sweep"]
 
@@ -54,18 +54,45 @@ def default_grid(
     policies=POLICIES,
     seeds=(12345, 54321),
     skew: float = 0.02,
+    faults=("",),
     **overrides,
 ) -> list[SimConfig]:
-    """The paper's evaluation grid: 4 workloads x {16,20} OSDs x 4 policies x 2 seeds."""
+    """The paper's evaluation grid: 4 workloads x {16,20} OSDs x 4 policies x 2 seeds.
+
+    ``faults`` is an extra grid axis of fault-scenario specs (see
+    :mod:`edm.faults.plan`); the default single empty spec is the healthy
+    cluster and leaves the grid exactly as the paper evaluates it.
+    """
     return [
-        SimConfig(workload=w, num_osds=n, policy=p, seed=s, skew=skew, **overrides)
-        for w, n, p, s in product(workloads, osds, policies, seeds)
+        SimConfig(workload=w, num_osds=n, policy=p, seed=s, skew=skew, faults=f, **overrides)
+        for w, n, p, s, f in product(workloads, osds, policies, seeds, faults)
     ]
 
 
 def series_path(timeseries_dir: str | os.PathLike, cfg: SimConfig) -> Path:
     """Where a config's time series lands: ``<dir>/<cache_name>.npz``."""
     return Path(timeseries_dir) / f"{cfg.cache_name()}.npz"
+
+
+class _FaultLogRecorder(Recorder):
+    """Streams each fired fault event into the worker's run log."""
+
+    def __init__(self, writer: RunLogWriter, run_id: str, config_name: str):
+        self._writer = writer
+        self._run_id = run_id
+        self._config_name = config_name
+
+    def on_fault(self, state, event, replaced: int) -> None:
+        self._writer.emit(
+            "fault",
+            run_id=self._run_id,
+            config=self._config_name,
+            kind=event.kind,
+            osd=int(event.osd),
+            epoch=int(state.epoch),
+            factor=float(event.factor),
+            replaced=int(replaced),
+        )
 
 
 @dataclass(frozen=True)
@@ -90,9 +117,11 @@ def _run_config(task: _Task) -> dict:
     bit-identical across cold and warm sweeps.
     """
     cfg = SimConfig.from_dict(task.cfg_dict)
-    recorders = ()
+    ts_recorder = None
+    recorders: tuple[Recorder, ...] = ()
     if task.ts_dir is not None:
-        recorders = (TimeSeriesRecorder(record_every=task.record_every),)
+        ts_recorder = TimeSeriesRecorder(record_every=task.record_every)
+        recorders = (ts_recorder,)
 
     writer = run_id = None
     tracer = NULL_TRACER
@@ -107,12 +136,16 @@ def _run_config(task: _Task) -> dict:
             config_hash=config_hash(cfg),
             engine_version=ENGINE_VERSION,
         )
+        if cfg.faults:
+            # Tag every fired fault event in the run log, streamed from the
+            # worker as the simulation crosses each event's epoch.
+            recorders = (*recorders, _FaultLogRecorder(writer, run_id, cfg.cache_name()))
 
     t0 = time.perf_counter()
     metrics = simulate(cfg, recorders=recorders, tracer=tracer)
     wall_s = time.perf_counter() - t0
-    if recorders:
-        recorders[0].series.save_npz(series_path(task.ts_dir, cfg))
+    if ts_recorder is not None:
+        ts_recorder.series.save_npz(series_path(task.ts_dir, cfg))
 
     if writer is not None:
         timings = metrics.pop("timings", {})

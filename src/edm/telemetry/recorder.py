@@ -4,6 +4,10 @@
 four-call lifecycle:
 
     on_run_start(cfg, state)        once, after state init, before epoch 0
+    on_fault(state, event, replaced)
+                                    when a fault event fires (failure /
+                                    slow-disk / hiccup), after any failure
+                                    re-placement, before that epoch's routing
     on_epoch(state, load, stats)    every epoch, after routing/wear/EMA updates
                                     and *before* that epoch's migration round
     on_migration(state, applied, stats)
@@ -32,6 +36,7 @@ if TYPE_CHECKING:
 
     from edm.config import SimConfig
     from edm.engine.state import ClusterState
+    from edm.faults import FaultEvent
 
 
 @dataclass
@@ -52,6 +57,10 @@ class Recorder:
 
     def on_run_start(self, cfg: "SimConfig", state: "ClusterState") -> None:
         """Called once before the first epoch; allocate buffers here."""
+
+    def on_fault(self, state: "ClusterState", event: "FaultEvent", replaced: int) -> None:
+        """Called when a fault event fires; ``replaced`` counts chunks
+        re-placed off a failed OSD (0 for slow-disk / hiccup events)."""
 
     def on_epoch(self, state: "ClusterState", load: "np.ndarray", stats: EpochStats) -> None:
         """Called every epoch with that epoch's per-OSD load vector."""

@@ -31,7 +31,9 @@ if TYPE_CHECKING:
     from edm.engine.state import ClusterState
 
 # Bump when the TimeSeries array set or meta layout changes.
-SERIES_FORMAT_VERSION = 1
+# 2: added per-sample ``alive`` (surviving-OSD count) and ``replacements``
+#    (failure re-placement moves since the previous sample).
+SERIES_FORMAT_VERSION = 2
 
 _ARRAY_FIELDS = (
     "epoch",
@@ -41,6 +43,8 @@ _ARRAY_FIELDS = (
     "wear",
     "wear_cov",
     "migrations",
+    "alive",
+    "replacements",
 )
 
 
@@ -61,6 +65,8 @@ class TimeSeries:
     wear: np.ndarray             # float64 [T, N], cumulative erase-count units
     wear_cov: np.ndarray         # float64 [T], std/mean of wear
     migrations: np.ndarray       # int64 [T], moves applied since previous sample
+    alive: np.ndarray            # int64 [T], surviving-OSD count at each sample
+    replacements: np.ndarray     # int64 [T], failure re-placements since previous sample
 
     @property
     def num_samples(self) -> int:
@@ -95,6 +101,14 @@ class TimeSeries:
     def load_npz(cls, path: str | os.PathLike) -> "TimeSeries":
         with np.load(path, allow_pickle=False) as npz:
             meta = json.loads(str(npz["meta"][()]))
+            missing = [k for k in _ARRAY_FIELDS if k not in npz.files]
+            if missing:
+                raise ValueError(
+                    f"{path}: series written by format "
+                    f"v{meta.get('format_version')} is missing {missing}; "
+                    f"re-run `edm sweep --timeseries` to regenerate "
+                    f"(current format v{SERIES_FORMAT_VERSION})"
+                )
             arrays = {k: npz[k] for k in _ARRAY_FIELDS}
         return cls(meta=meta, **arrays)
 
@@ -117,7 +131,8 @@ class TimeSeries:
         path.parent.mkdir(parents=True, exist_ok=True)
         n = self.num_osds
         header = (
-            ["epoch", "load_cov", "load_peak_ratio", "wear_cov", "migrations"]
+            ["epoch", "load_cov", "load_peak_ratio", "wear_cov", "migrations",
+             "alive", "replacements"]
             + [f"load_osd{i}" for i in range(n)]
             + [f"wear_osd{i}" for i in range(n)]
         )
@@ -132,6 +147,8 @@ class TimeSeries:
                         float(self.load_peak_ratio[t]),
                         float(self.wear_cov[t]),
                         int(self.migrations[t]),
+                        int(self.alive[t]),
+                        int(self.replacements[t]),
                     ]
                     + [float(v) for v in self.load[t]]
                     + [float(v) for v in self.wear[t]]
@@ -168,16 +185,22 @@ class TimeSeriesRecorder(Recorder):
         self._wear = np.zeros((cap, n))
         self._wear_cov = np.zeros(cap)
         self._migrations = np.zeros(cap, dtype=np.int64)
+        self._alive = np.zeros(cap, dtype=np.int64)
+        self._replacements = np.zeros(cap, dtype=np.int64)
         self._i = 0
-        self._window = 0  # moves applied since the last recorded sample
+        self._window = 0       # moves applied since the last recorded sample
+        self._repl_window = 0  # failure re-placements since the last sample
 
     def on_epoch(self, state: "ClusterState", load: np.ndarray, stats: EpochStats) -> None:
         if stats.epoch % self.record_every:
             return
-        self._record(stats.epoch, load, state.osd_wear)
+        self._record(stats.epoch, load, state)
 
     def on_migration(self, state: "ClusterState", applied: int, stats: EpochStats) -> None:
         self._window += applied
+
+    def on_fault(self, state: "ClusterState", event, replaced: int) -> None:
+        self._repl_window += replaced
 
     def finalize(self, state: "ClusterState", final_load: np.ndarray) -> TimeSeries:
         cfg = self._cfg
@@ -191,11 +214,13 @@ class TimeSeriesRecorder(Recorder):
             i = self._i - 1
             self._migrations[i] += self._window
             self._window = 0
+            self._replacements[i] += self._repl_window
+            self._repl_window = 0
             self._wear[i] = state.osd_wear
             wm = state.osd_wear.mean()
             self._wear_cov[i] = float(state.osd_wear.std() / wm) if wm > 0 else 0.0
         else:
-            self._record(last, final_load, state.osd_wear)
+            self._record(last, final_load, state)
         i = self._i
         self.series = TimeSeries(
             meta={
@@ -210,6 +235,7 @@ class TimeSeriesRecorder(Recorder):
                 "epochs": cfg.epochs,
                 "record_every": self.record_every,
                 "chunk_size_mb": cfg.chunk_size_mb,
+                "faults": cfg.faults,
             },
             epoch=self._epoch[:i].copy(),
             load=self._load[:i].copy(),
@@ -218,10 +244,13 @@ class TimeSeriesRecorder(Recorder):
             wear=self._wear[:i].copy(),
             wear_cov=self._wear_cov[:i].copy(),
             migrations=self._migrations[:i].copy(),
+            alive=self._alive[:i].copy(),
+            replacements=self._replacements[:i].copy(),
         )
         return self.series
 
-    def _record(self, epoch: int, load: np.ndarray, wear: np.ndarray) -> None:
+    def _record(self, epoch: int, load: np.ndarray, state: "ClusterState") -> None:
+        wear = state.osd_wear
         i = self._i
         self._epoch[i] = epoch
         self._load[i] = load
@@ -235,4 +264,7 @@ class TimeSeriesRecorder(Recorder):
             self._wear_cov[i] = wear.std() / wm
         self._migrations[i] = self._window
         self._window = 0
+        self._alive[i] = int(state.osd_alive.sum())
+        self._replacements[i] = self._repl_window
+        self._repl_window = 0
         self._i = i + 1

@@ -46,3 +46,36 @@ def test_boundary_values_accepted():
     cfg = SimConfig(heat_alpha=1.0, load_alpha=1.0, skew=0.0, migrate_interval=1,
                     max_migrations_per_interval=1)
     assert cfg.heat_alpha == 1.0 and cfg.skew == 0.0
+
+
+@pytest.mark.parametrize("epochs", [0, -1])
+def test_zero_epoch_run_rejected_with_explanation(epochs):
+    """Satellite fix: epochs=0 used to slip through to a run with no load
+    vector to finalize; now it is rejected up front with a reason."""
+    with pytest.raises(ValueError, match="epochs must be >= 1.*no load vector"):
+        SimConfig(epochs=epochs)
+
+
+def test_faults_spec_canonicalized_on_config():
+    cfg = SimConfig(num_osds=8, faults="slow:2@4x0.50;fail:1@2")
+    # Canonical order is (epoch, kind, osd); factors render minimally.
+    assert cfg.faults == "fail:1@2;slow:2@4x0.5"
+    same = SimConfig(num_osds=8, faults="fail:1@2;slow:2@4x0.5")
+    assert config_hash(cfg) == config_hash(same)
+    assert cfg.cache_name() == same.cache_name()
+
+
+def test_faults_do_not_change_healthy_cache_name():
+    healthy = SimConfig(num_osds=8)
+    faulted = SimConfig(num_osds=8, faults="fail:1@2")
+    assert healthy.faults == ""
+    assert "-f" not in healthy.cache_name().split("-r")[1]
+    assert faulted.cache_name() != healthy.cache_name()
+    assert faulted.cache_name().startswith(healthy.cache_name())
+
+
+def test_bad_fault_specs_rejected():
+    with pytest.raises(ValueError, match="bad fault event"):
+        SimConfig(num_osds=8, faults="explode:1@2")
+    with pytest.raises(ValueError, match="OSD 9 out of range"):
+        SimConfig(num_osds=8, faults="fail:9@2")

@@ -57,6 +57,55 @@ def test_apply_migrations_charges_destination_wear(small_cfg):
     assert state.osd_wear[:3].sum() == 0
 
 
+def test_apply_migrations_duplicate_destination_charges_per_move(small_cfg):
+    """Two chunks landing on the same OSD charge migration wear twice, not once."""
+    cfg = small_cfg
+    state = make_state(cfg)
+    applied = apply_migrations(state, np.array([[0, 3], [8, 3]]), cfg)
+    assert applied == 2
+    per_move = cfg.migration_write_cost * cfg.wear_per_write
+    assert state.osd_wear[3] == pytest.approx(2 * per_move)
+    assert state.osd_wear[:3].sum() == 0
+
+
+def test_apply_migrations_dropped_moves_charge_no_wear(small_cfg):
+    """Duplicates, out-of-range moves, and no-ops must not leave wear behind."""
+    cfg = small_cfg
+    state = make_state(cfg)
+    moves = np.array(
+        [
+            [0, 3],    # valid -> charged
+            [0, 2],    # duplicate chunk -> dropped, no charge on OSD 2
+            [5, 99],   # dst out of range -> dropped
+            [-1, 2],   # chunk out of range -> dropped
+            [9, 1],    # no-op (already on OSD 1) -> dropped
+        ]
+    )
+    applied = apply_migrations(state, moves, cfg)
+    assert applied == 1
+    per_move = cfg.migration_write_cost * cfg.wear_per_write
+    assert state.osd_wear.sum() == pytest.approx(per_move)
+    assert state.osd_wear[3] == pytest.approx(per_move)
+
+
+def test_migrate_interval_longer_than_run(small_cfg):
+    """An interval past the horizon means zero migrations, finite metrics."""
+    cfg = SimConfig(**{**small_cfg.to_dict(), "migrate_interval": small_cfg.epochs * 4})
+    metrics = simulate(cfg)
+    assert metrics["epochs"] == cfg.epochs
+    assert metrics["migrations_total"] == 0
+    assert np.isfinite(metrics["load_cov_mean"])
+    assert np.isfinite(metrics["wear_cov"])
+
+
+def test_single_epoch_run(small_cfg):
+    """epochs=1 is the smallest legal run and must finalize cleanly."""
+    cfg = SimConfig(**{**small_cfg.to_dict(), "epochs": 1})
+    metrics = simulate(cfg)
+    assert metrics["epochs"] == 1
+    assert np.isfinite(metrics["load_cov_mean"])
+
+
 def test_empty_moves_is_noop(small_cfg):
     state = make_state(small_cfg)
     assert apply_migrations(state, np.empty((0, 2)), small_cfg) == 0

@@ -87,6 +87,26 @@ def test_regression_dataclass_change_frac_zero_baseline():
     assert r.change_frac == 0.0
 
 
+@pytest.mark.parametrize("bad", [0, 0.0, -1.0, "fast", None, True])
+def test_compare_refuses_non_positive_baseline_metric(bad):
+    """A zero/garbage baseline throughput has no regression ratio: refuse loudly."""
+    base = fake_report()
+    base["sweep"]["requests_per_sec_cold"] = bad
+    if bad is None:
+        match = "missing metric"
+    else:
+        match = "not a positive number"
+    with pytest.raises(ValueError, match=match):
+        compare_reports(fake_report(), base)
+
+
+def test_compare_refuses_non_numeric_current_metric():
+    cur = fake_report()
+    cur["single_config"]["requests_per_sec"] = "NaNish"
+    with pytest.raises(ValueError, match="not a non-negative number"):
+        compare_reports(cur, fake_report())
+
+
 def test_load_report_rejects_non_object(tmp_path):
     p = tmp_path / "r.json"
     p.write_text("[1,2,3]")
@@ -133,6 +153,15 @@ def test_bench_compare_gate_passes_within_threshold(tmp_path, patched_bench, cap
 
 def test_bench_compare_unreadable_baseline_exits_2(tmp_path, patched_bench):
     assert bench_mod.main(["--compare", str(tmp_path / "missing.json")]) == 2
+
+
+def test_bench_compare_zero_baseline_exits_2(tmp_path, patched_bench, caplog):
+    """Satellite fix: a baseline with 0 req/s used to produce a nonsense ratio
+    (or a divide-by-zero); now it is a clear error and exit code 2."""
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(fake_report(cold_rps=0.0)))
+    rc = bench_mod.main(["--compare", str(baseline), "--out", str(tmp_path / "o.json")])
+    assert rc == 2
 
 
 def test_bench_quick_defaults_to_quick_out(patched_bench):

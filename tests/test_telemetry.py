@@ -124,7 +124,11 @@ def test_npz_roundtrip(small_cfg, tmp_path):
     path = rec.series.save_npz(tmp_path / "series.npz")
     loaded = TimeSeries.load_npz(path)
     assert loaded.meta == rec.series.meta
-    for name in ("epoch", "load", "load_cov", "load_peak_ratio", "wear", "wear_cov", "migrations"):
+    fields = (
+        "epoch", "load", "load_cov", "load_peak_ratio", "wear", "wear_cov",
+        "migrations", "alive", "replacements",
+    )
+    for name in fields:
         assert np.array_equal(getattr(loaded, name), getattr(rec.series, name)), name
 
 
@@ -135,8 +139,10 @@ def test_csv_and_json_export(small_cfg, tmp_path):
     csv_path = s.save_csv(tmp_path / "series.csv")
     lines = csv_path.read_text().strip().splitlines()
     assert len(lines) == 1 + s.num_samples
-    assert lines[0].startswith("epoch,load_cov,load_peak_ratio,wear_cov,migrations")
-    assert lines[0].count(",") == 4 + 2 * s.num_osds
+    assert lines[0].startswith(
+        "epoch,load_cov,load_peak_ratio,wear_cov,migrations,alive,replacements"
+    )
+    assert lines[0].count(",") == 6 + 2 * s.num_osds
 
     json_path = s.save_json(tmp_path / "series.json")
     import json
