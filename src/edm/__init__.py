@@ -10,6 +10,7 @@ Stable public API (everything in ``__all__``):
     sweep              -- run a grid with caching + parallelism (+ time-series export)
     SweepResult        -- a completed sweep (``results`` is always complete)
     default_grid       -- the paper's 64-config evaluation grid
+    EnduranceModel     -- per-OSD rated P/E budgets parsed from an ``--endurance`` spec
     Recorder           -- observer protocol for per-epoch engine hooks
     TimeSeriesRecorder -- per-epoch series capture with downsampling
     TimeSeries         -- captured series + .npz/JSON/CSV exporters
@@ -24,6 +25,7 @@ Stable public API (everything in ``__all__``):
 """
 
 from edm.config import SimConfig, config_hash
+from edm.endurance import EnduranceModel
 from edm.engine.core import simulate
 from edm.faults import FaultEvent, FaultPlan
 from edm.obs import RunLogWriter, Tracer, append_history, compare_reports, read_run_log
@@ -31,9 +33,10 @@ from edm.policies import resolve_policy
 from edm.sweep import SweepResult, default_grid, sweep
 from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
+    "EnduranceModel",
     "FaultEvent",
     "FaultPlan",
     "SimConfig",

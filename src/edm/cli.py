@@ -61,6 +61,18 @@ def _fault_scenarios(spec: str) -> list[str]:
     return scenarios or [""]
 
 
+def _endurance_scenarios(spec: str) -> list[str]:
+    """Split a semicolon-separated ``--endurance`` value into model specs.
+
+    Endurance specs join their bands with ``,`` (``pe:3000@0-3,10000@4-7``),
+    so unlike ``--faults`` the grid-axis separator is ``;``; ``none`` (or an
+    empty entry) names the unrated cluster.
+    """
+    parts = [p.strip() for p in spec.split(";") if p.strip()]
+    scenarios = [("" if p == "none" else p) for p in parts]
+    return scenarios or [""]
+
+
 def cmd_run(args) -> int:
     cfg = SimConfig(
         workload=args.workload,
@@ -68,6 +80,7 @@ def cmd_run(args) -> int:
         policy=resolve_policy(args.policy),
         seed=args.seed,
         faults="" if args.faults == "none" else args.faults,
+        endurance="" if args.endurance == "none" else args.endurance,
         **_overrides(args),
     )
     metrics = simulate(cfg)
@@ -82,6 +95,7 @@ def cmd_sweep(args) -> int:
         policies=[resolve_policy(p) for p in _csv(args.policies)],
         seeds=[int(s) for s in _csv(args.seeds)],
         faults=_fault_scenarios(args.faults),
+        endurance=_endurance_scenarios(args.endurance),
         **_overrides(args),
     )
     result = sweep(
@@ -188,6 +202,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SPEC",
         help="fault scenario, e.g. 'fail:3@100;slow:5@50x0.5' ('none' = healthy)",
     )
+    run_p.add_argument(
+        "--endurance",
+        default="",
+        metavar="SPEC",
+        help="endurance model, e.g. 'pe:5000' or 'pe:3000@0-3,10000@4-7' "
+        "('none' = unlimited rated lifetime)",
+    )
     _add_engine_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -233,6 +254,14 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated fault scenarios as an extra grid axis "
         "(events within a scenario join with ';'; 'none' = healthy), "
         "e.g. 'none,fail:3@100;slow:5@50x0.5'",
+    )
+    sweep_p.add_argument(
+        "--endurance",
+        default="",
+        metavar="SPECS",
+        help="semicolon-separated endurance models as an extra grid axis "
+        "(bands within a model join with ','; 'none' = unlimited), "
+        "e.g. 'none;pe:5000;pe:3000@0-3,10000@4-7'",
     )
     sweep_p.add_argument(
         "--quick",

@@ -17,7 +17,9 @@ from dataclasses import asdict, dataclass, field
 # 2: observer-hook engine API; policy aliases canonicalized before hashing.
 # 3: fault injection (``faults`` field, alive/capacity state) and CMT
 #    destination scoring normalized by cluster-wide scales.
-ENGINE_VERSION = 3
+# 4: endurance model (``endurance`` field, rated-lifetime / wear-rate state,
+#    wear-out failures) and CMT's predicted-wear-out destination term.
+ENGINE_VERSION = 4
 
 # Version of the *seed material* fed to rng_seed_sequence.  Deliberately
 # decoupled from ENGINE_VERSION: bumping the cache format must not reseed
@@ -25,6 +27,14 @@ ENGINE_VERSION = 3
 # Frozen at 2 so fault-free configs draw the exact streams they always have;
 # bump only to intentionally re-randomize every workload.
 SEED_SCHEMA_VERSION = 2
+
+# Fields excluded from the seed material.  The seed-material field set is
+# frozen at what SEED_SCHEMA_VERSION=2 hashed: every field added to SimConfig
+# since (fault scenarios, the endurance model and its knobs) must be listed
+# here, both because it must not perturb the frozen hash and because none of
+# them describe the *traffic* -- a degraded or endurance-rated cluster
+# replays exactly the healthy run's request stream.
+SEED_EXCLUDED_FIELDS = ("faults", "endurance", "wear_rate_alpha", "endurance_weight")
 
 WORKLOADS = ("deasna", "deasna2", "lair62", "lair62b")
 POLICIES = ("baseline", "cdf", "hdf", "cmt")
@@ -79,6 +89,18 @@ class SimConfig:
     # feeds the workload RNG: faulted and healthy runs see identical traffic.
     faults: str = ""
 
+    # Endurance model: empty string = unlimited rated lifetime.  Parsed and
+    # canonicalized by edm.endurance.spec (e.g. "pe:5000" or
+    # "pe:3000@0-3,10000@4-7"); an OSD whose consumed cycles reach its rating
+    # fails at the next epoch boundary.  Like ``faults``, the spec never
+    # feeds the workload RNG.
+    endurance: str = ""
+    # EWMA smoothing for the per-OSD wear rate that drives epochs-to-wear-out
+    # prediction, and the weight of that predicted-wear-out term in CMT's
+    # destination score (0 disables the term).
+    wear_rate_alpha: float = 0.3
+    endurance_weight: float = 1.0
+
     def __post_init__(self) -> None:
         if self.policy in POLICY_ALIASES:
             object.__setattr__(self, "policy", POLICY_ALIASES[self.policy])
@@ -111,11 +133,20 @@ class SimConfig:
                 "max_migrations_per_interval must be >= 1, "
                 f"got {self.max_migrations_per_interval}"
             )
+        if not 0.0 < self.wear_rate_alpha <= 1.0:
+            raise ValueError(f"wear_rate_alpha must be in (0, 1], got {self.wear_rate_alpha}")
+        if self.endurance_weight < 0:
+            raise ValueError(f"endurance_weight must be >= 0, got {self.endurance_weight}")
         if self.faults:
             from edm.faults import FaultPlan
 
             plan = FaultPlan.parse(self.faults, num_osds=self.num_osds)
             object.__setattr__(self, "faults", plan.spec)
+        if self.endurance:
+            from edm.endurance import EnduranceModel
+
+            model = EnduranceModel.parse(self.endurance, num_osds=self.num_osds)
+            object.__setattr__(self, "endurance", model.spec)
 
     @property
     def num_chunks(self) -> int:
@@ -131,13 +162,16 @@ class SimConfig:
     def cache_name(self) -> str:
         """Filename stem matching the historical .repro-cache key format.
 
-        Fault scenarios append a short spec digest (``-f1a2b3c4d``) so the
-        same base config under different fault plans never collides on
-        filename; healthy configs keep the historical stem byte-for-byte.
+        Fault scenarios append a short spec digest (``-f1a2b3c4``) and
+        endurance models another (``-e5d6e7f8``) so the same base config
+        under different scenarios never collides on filename; healthy,
+        unrated configs keep the historical stem byte-for-byte.
         """
         stem = f"{self.workload}-{self.num_osds}osd-{self.policy}-s{self.skew:g}-r{self.seed}"
         if self.faults:
             stem += f"-f{hashlib.sha256(self.faults.encode()).hexdigest()[:8]}"
+        if self.endurance:
+            stem += f"-e{hashlib.sha256(self.endurance.encode()).hexdigest()[:8]}"
         return stem
 
 
@@ -151,14 +185,16 @@ def config_hash(cfg: SimConfig) -> str:
 def seed_material_hash(cfg: SimConfig) -> str:
     """Stable hash of the fields that identify a config's workload streams.
 
-    Unlike :func:`config_hash` (the cache key), this excludes the ``faults``
-    spec -- a fault scenario degrades the *cluster*, never the traffic, so a
-    faulted run replays exactly the healthy run's request stream -- and pins
+    Unlike :func:`config_hash` (the cache key), this excludes every field in
+    :data:`SEED_EXCLUDED_FIELDS` -- fault scenarios and endurance ratings
+    degrade the *cluster*, never the traffic, so such runs replay exactly
+    the healthy run's request stream -- and pins
     :data:`SEED_SCHEMA_VERSION` instead of :data:`ENGINE_VERSION`, so engine
     format bumps don't silently reseed every workload.
     """
     payload = {"engine_version": SEED_SCHEMA_VERSION, **cfg.to_dict()}
-    payload.pop("faults", None)
+    for field_name in SEED_EXCLUDED_FIELDS:
+        payload.pop(field_name, None)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
     return hashlib.sha256(blob).hexdigest()
 

@@ -1,0 +1,183 @@
+"""Endurance specs: per-OSD rated P/E-cycle budgets.
+
+An :class:`EnduranceModel` is parsed from a compact spec string (the
+``endurance`` field of :class:`~edm.config.SimConfig`, or ``--endurance`` on
+the CLI) and assigns every OSD a rated lifetime in erase-count units -- the
+same units ``osd_wear`` accrues in -- so "wear" gains a notion of how close
+each SSD is to dying.  There is no randomness here: ratings are a pure
+function of the spec, so endurance-aware runs are exactly as reproducible as
+endurance-free ones.
+
+Spec grammar (bands joined with ``,``; no semicolons, so a
+semicolon-separated CLI list can carry several scenarios)::
+
+    spec    := "pe:" band ("," band)*
+    band    := CYCLES ("@" OSD ("-" OSD)?)?     rating, optional OSD range
+
+Examples::
+
+    pe:5000                    every OSD rated at 5000 cycles
+    pe:3000@0-3,10000@4-7      OSDs 0..3 rated 3000, OSDs 4..7 rated 10000
+    pe:5000,300@2              default 5000 with one weak drive (OSD 2)
+
+At most one band may omit the ``@`` range; it becomes the default rating for
+every OSD not covered by a ranged band.  Without a default band the ranged
+bands must cover the whole cluster.  The empty string (or ``"none"``) means
+no endurance model: every OSD has an unlimited (infinite) rated lifetime.
+
+Parsing canonicalizes the spec -- default band first, ranged bands sorted by
+their first OSD, numbers normalized -- so two spellings of the same model
+produce the same ``SimConfig`` content hash and hit the same cache entry.
+
+This module is deliberately dependency-free apart from NumPy (no engine
+imports) so the config layer can parse and validate specs without import
+cycles.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+_BAND_RE = re.compile(r"^(\d+(?:\.\d+)?)(?:@(\d+)(?:-(\d+))?)?$")
+
+
+@dataclass(frozen=True)
+class EnduranceBand:
+    """One rating band: ``cycles`` for OSDs ``lo..hi`` (inclusive).
+
+    ``lo is None`` marks the default band covering every OSD not claimed by
+    a ranged band.
+    """
+
+    cycles: float
+    lo: int | None = None
+    hi: int | None = None
+
+    def render(self) -> str:
+        """Canonical spec fragment for this band."""
+        # Fixed-point, never scientific: 'pe:1000000' must round-trip (the
+        # band grammar has no exponent form), so '%g' is not an option.
+        cycles = format(self.cycles, ".6f").rstrip("0").rstrip(".")
+        if self.lo is None:
+            return cycles
+        if self.lo == self.hi:
+            return f"{cycles}@{self.lo}"
+        return f"{cycles}@{self.lo}-{self.hi}"
+
+
+def _parse_band(text: str) -> EnduranceBand:
+    m = _BAND_RE.match(text)
+    if not m:
+        raise ValueError(
+            f"bad endurance band {text!r}; expected 'CYCLES', 'CYCLES@OSD' "
+            f"or 'CYCLES@LO-HI'"
+        )
+    cycles = float(m.group(1))
+    if m.group(2) is None:
+        return EnduranceBand(cycles=cycles)
+    lo = int(m.group(2))
+    hi = int(m.group(3)) if m.group(3) is not None else lo
+    return EnduranceBand(cycles=cycles, lo=lo, hi=hi)
+
+
+@dataclass(frozen=True)
+class EnduranceModel:
+    """A validated, canonically ordered set of rating bands."""
+
+    bands: tuple[EnduranceBand, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.bands)
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`)."""
+        if not self.bands:
+            return ""
+        return "pe:" + ",".join(band.render() for band in self.bands)
+
+    @property
+    def default_cycles(self) -> float | None:
+        for band in self.bands:
+            if band.lo is None:
+                return band.cycles
+        return None
+
+    @classmethod
+    def parse(cls, spec: str, num_osds: int | None = None) -> "EnduranceModel":
+        """Parse and validate a spec; ``num_osds`` enables coverage checks."""
+        spec = (spec or "").strip()
+        if not spec or spec == "none":
+            return cls()
+        if not spec.startswith("pe:"):
+            raise ValueError(
+                f"bad endurance spec {spec!r}; expected 'pe:CYCLES' or "
+                f"'pe:CYCLES@LO-HI,...' ('none' = unlimited endurance)"
+            )
+        bands = [_parse_band(part.strip()) for part in spec[3:].split(",") if part.strip()]
+        if not bands:
+            raise ValueError(f"bad endurance spec {spec!r}: no rating bands")
+        # Canonical order: the default band first, ranged bands by first OSD.
+        bands.sort(key=lambda b: (-1, -1) if b.lo is None else (b.lo, b.hi))
+        model = cls(bands=tuple(bands))
+        model.validate(num_osds=num_osds)
+        return model
+
+    def validate(self, num_osds: int | None = None) -> None:
+        defaults = [b for b in self.bands if b.lo is None]
+        if len(defaults) > 1:
+            raise ValueError(
+                f"endurance spec {self.spec!r}: at most one default (range-free) "
+                f"band is allowed"
+            )
+        claimed: set[int] = set()
+        for band in self.bands:
+            if band.cycles <= 0:
+                raise ValueError(
+                    f"endurance band {band.render()!r}: rated cycles must be > 0"
+                )
+            if band.lo is None:
+                continue
+            if band.lo > band.hi:
+                raise ValueError(
+                    f"endurance band {band.render()!r}: range is inverted"
+                )
+            if num_osds is not None and band.hi >= num_osds:
+                raise ValueError(
+                    f"endurance band {band.render()!r}: OSD {band.hi} out of range "
+                    f"for a {num_osds}-OSD cluster"
+                )
+            overlap = claimed.intersection(range(band.lo, band.hi + 1))
+            if overlap:
+                raise ValueError(
+                    f"endurance band {band.render()!r}: OSD {min(overlap)} is "
+                    f"rated by more than one band"
+                )
+            claimed.update(range(band.lo, band.hi + 1))
+        if num_osds is not None and self.bands and not defaults:
+            uncovered = sorted(set(range(num_osds)) - claimed)
+            if uncovered:
+                raise ValueError(
+                    f"endurance spec {self.spec!r}: OSDs {uncovered} have no "
+                    f"rating; add a default band or cover the whole cluster"
+                )
+
+    def ratings(self, num_osds: int) -> np.ndarray:
+        """Rated lifetime per OSD, in wear (erase-count) units.
+
+        The empty model rates every OSD at ``inf`` -- the engine's "no
+        endurance" representation, under which every lifetime expression
+        (remaining life, predicted wear-out) stays finite-free and inert.
+        """
+        self.validate(num_osds=num_osds)
+        if not self.bands:
+            return np.full(num_osds, np.inf)
+        default = self.default_cycles
+        out = np.full(num_osds, default if default is not None else np.inf)
+        for band in self.bands:
+            if band.lo is not None:
+                out[band.lo : band.hi + 1] = band.cycles
+        return out

@@ -16,6 +16,15 @@ destination scoring, slow-disk and hiccup events scale per-OSD capacity, and
 every fired event fans out to recorders via ``on_fault``.  Healthy configs
 skip this path entirely.
 
+With an endurance model configured (``cfg.endurance``), every OSD carries a
+rated P/E budget: epoch boundaries also step the
+:class:`~edm.endurance.EnduranceTracker`, failing any OSD whose consumed
+cycles reached its rating through the same re-placement and ``on_fault``
+path (event kind ``"wearout"``), and each epoch's wear delta feeds the
+per-OSD wear-rate EWMA behind CMT's predicted-wear-out destination term.
+Unrated configs skip this path entirely and stay bit-identical to the
+endurance-unaware engine.
+
 There is no per-request Python loop anywhere; a "request" only ever exists
 as a unit inside a counts vector.
 """
@@ -27,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from edm.config import SimConfig, rng_seed_sequence
+from edm.endurance import EnduranceModel, EnduranceTracker
 from edm.engine.metrics import MetricsAccumulator
 from edm.engine.state import ClusterState, init_state
 from edm.faults import FaultPlan, FaultRuntime, effective_load
@@ -134,6 +144,10 @@ def simulate(
         state = init_state(cfg)
         plan = FaultPlan.parse(cfg.faults, num_osds=cfg.num_osds)
         faults = FaultRuntime(plan) if plan else None
+        model = EnduranceModel.parse(cfg.endurance, num_osds=cfg.num_osds)
+        endurance = EnduranceTracker(model, cfg) if model else None
+        if endurance is not None:
+            endurance.attach(state)
         acc = MetricsAccumulator()
         observers: tuple[Recorder, ...] = (acc, *recorders)
         for rec in observers:
@@ -149,6 +163,14 @@ def simulate(
                     replaced = 0
                     if event.kind == "fail":
                         replaced = replace_dead_chunks(state, event.osd, policy, cfg)
+                    for rec in observers:
+                        rec.on_fault(state, event, replaced)
+        if endurance is not None:
+            with tr.span("simulate.endurance"):
+                # Wear-outs ride the fault machinery: same batch re-placement
+                # through the active policy, same on_fault observer fan-out.
+                for event in endurance.step(state, epoch):
+                    replaced = replace_dead_chunks(state, event.osd, policy, cfg)
                     for rec in observers:
                         rec.on_fault(state, event, replaced)
         with tr.span("simulate.workload_gen"):
@@ -171,6 +193,11 @@ def simulate(
             state.chunk_write_heat += cfg.heat_alpha * writes
             state.osd_load_ema *= 1.0 - cfg.load_alpha
             state.osd_load_ema += cfg.load_alpha * load
+            if endurance is not None:
+                # Fold this epoch's wear delta (routing writes plus any
+                # migration wear applied since the last update) into the
+                # per-OSD wear-rate EWMA before observers and policies look.
+                endurance.update_rate(state)
 
         with tr.span("simulate.observers"):
             stats.epoch = epoch

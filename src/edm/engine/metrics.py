@@ -6,6 +6,9 @@ Paper metrics:
   * wear spread -- (max - min) erase count across SSDs at end of run,
     plus the CoV of wear; endurance-aware migration should shrink both.
   * migration cost -- total data moved (chunks x chunk size).
+  * endurance (rated configs only) -- min/mean/CoV of remaining rated
+    lifetime over surviving OSDs, predicted and actual first-wear-out
+    epochs, and wear-out event counts.
 
 ``MetricsAccumulator`` is the engine's always-on :class:`~edm.telemetry.Recorder`:
 it rides the same observer hooks as user-supplied telemetry, and its
@@ -44,8 +47,19 @@ class MetricsAccumulator(Recorder):
         self._recover_baseline = 0.0
         self._recover_start: int | None = None
         self._recovery_epochs = -1
+        # Endurance tracking (only surfaced when cfg.endurance is set).
+        self._endured = bool(cfg.endurance)
+        self._wearouts = 0
+        self._wearout_replaced = 0
+        self._first_wearout_epoch = -1
 
     def on_fault(self, state: ClusterState, event, replaced: int) -> None:
+        if event.kind == "wearout":
+            self._wearouts += 1
+            self._wearout_replaced += replaced
+            if self._first_wearout_epoch < 0:
+                self._first_wearout_epoch = event.epoch
+            return
         self._fault_counts[event.kind] += 1
         if event.kind == "fail":
             self._replaced_total += replaced
@@ -129,5 +143,26 @@ class MetricsAccumulator(Recorder):
             out["fault_recovery_epochs"] = int(self._recovery_epochs)
             out["load_cov_alive_mean"] = self._cov_alive_sum / epochs
             out["wear_cov_alive"] = float(aw.std() / awm) if awm > 0 else 0.0
+            out["osds_alive_final"] = int(alive.sum())
+        if self._endured:
+            # Endurance metrics, present only for rated configs so unrated
+            # metrics dicts stay bit-identical to the endurance-unaware
+            # engine.  Lifetime stats are alive-masked: a worn-out OSD's
+            # zero remaining life describes a drive that already failed.
+            alive = state.osd_alive
+            rem = state.remaining_life()[alive]
+            rem_mean = float(rem.mean()) if rem.size else 0.0
+            pred = state.predicted_wearout_epochs()[alive]
+            pred_min = float(pred.min()) if pred.size else np.inf
+            out["endurance"] = cfg.endurance
+            out["remaining_life_min"] = float(rem.min()) if rem.size else 0.0
+            out["remaining_life_mean"] = rem_mean
+            out["remaining_life_cov"] = float(rem.std() / rem_mean) if rem_mean > 0 else 0.0
+            out["predicted_first_wearout_epoch"] = (
+                int(state.epoch + pred_min) if np.isfinite(pred_min) else -1
+            )
+            out["wearouts_total"] = int(self._wearouts)
+            out["first_wearout_epoch"] = int(self._first_wearout_epoch)
+            out["wearout_replacements_total"] = int(self._wearout_replaced)
             out["osds_alive_final"] = int(alive.sum())
         return out

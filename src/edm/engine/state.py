@@ -29,6 +29,9 @@ class ClusterState:
     # Fault state (healthy defaults filled in by __post_init__)
     osd_alive: np.ndarray = None     # bool [N], False once an OSD has failed
     osd_capacity: np.ndarray = None  # float64 [N], capacity multiplier (0 = dead)
+    # Endurance state (unlimited defaults filled in by __post_init__)
+    osd_rated_life: np.ndarray = None  # float64 [N], rated P/E budget in wear units (inf = unrated)
+    osd_wear_rate: np.ndarray = None   # float64 [N], EWMA of per-epoch wear increments
     degraded: bool = False           # True while any OSD is dead or off-nominal
     epoch: int = 0
     migrations_total: int = 0
@@ -38,6 +41,10 @@ class ClusterState:
             self.osd_alive = np.ones(self.num_osds, dtype=bool)
         if self.osd_capacity is None:
             self.osd_capacity = np.ones(self.num_osds)
+        if self.osd_rated_life is None:
+            self.osd_rated_life = np.full(self.num_osds, np.inf)
+        if self.osd_wear_rate is None:
+            self.osd_wear_rate = np.zeros(self.num_osds)
 
     def validate(self) -> None:
         """Cheap invariant check: every chunk owned by exactly one valid OSD."""
@@ -55,10 +62,39 @@ class ClusterState:
             dead = np.flatnonzero(~self.osd_alive)
             if np.isin(self.chunk_owner, dead).any():
                 raise AssertionError("dead OSD still owns chunks (re-placement missed)")
+        if self.osd_rated_life.shape != (self.num_osds,) or self.osd_wear_rate.shape != (
+            self.num_osds,
+        ):
+            raise AssertionError("osd_rated_life/osd_wear_rate shape drifted")
+        if (self.osd_rated_life <= 0).any():
+            raise AssertionError("osd_rated_life contains non-positive ratings")
+        if (self.osd_wear_rate < 0).any():
+            raise AssertionError("osd_wear_rate went negative (wear decreased?)")
 
     def eligible_mask(self, cfg: SimConfig) -> np.ndarray:
         """Chunks past their migration cooldown window."""
         return (self.epoch - self.chunk_last_migrated) >= cfg.migration_cooldown_epochs
+
+    def remaining_life(self) -> np.ndarray:
+        """Rated cycles left per OSD, floored at 0 (``inf`` when unrated).
+
+        The floor matters for the last-survivor overdraft case: an OSD kept
+        serving past its budget reports 0 remaining life, never negative.
+        """
+        return np.maximum(self.osd_rated_life - self.osd_wear, 0.0)
+
+    def predicted_wearout_epochs(self) -> np.ndarray:
+        """Epochs until each OSD exhausts its budget at its current wear rate.
+
+        ``remaining_life / wear_rate`` where the rate is positive, ``inf``
+        otherwise (no rating, or no write traffic observed yet).  Safe under
+        ``-W error::RuntimeWarning``: the division only runs where the rate
+        is positive, and an unrated OSD divides ``inf`` by a finite rate.
+        """
+        out = np.full(self.num_osds, np.inf)
+        np.divide(self.remaining_life(), self.osd_wear_rate, out=out,
+                  where=self.osd_wear_rate > 0)
+        return out
 
 
 def init_state(cfg: SimConfig) -> ClusterState:

@@ -13,11 +13,12 @@ wear), ``slow``/``hiccup`` events scale per-OSD capacity, and every fired
 event is fanned out to recorders via the ``on_fault`` observer hook.
 """
 
-from edm.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from edm.faults.plan import FAULT_KINDS, WEAROUT_KIND, FaultEvent, FaultPlan
 from edm.faults.runtime import FaultRuntime, effective_load
 
 __all__ = [
     "FAULT_KINDS",
+    "WEAROUT_KIND",
     "FaultEvent",
     "FaultPlan",
     "FaultRuntime",

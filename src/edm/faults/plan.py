@@ -40,6 +40,12 @@ from dataclasses import dataclass
 
 FAULT_KINDS = ("fail", "slow", "hiccup")
 
+# Synthesized at runtime by the endurance layer (edm.endurance) when an OSD's
+# consumed P/E cycles reach its rated budget; behaves exactly like ``fail``
+# but is never part of a parseable spec -- wear-out timing is a consequence
+# of traffic, not a schedule.
+WEAROUT_KIND = "wearout"
+
 _FAIL_RE = re.compile(r"^fail:(\d+)@(\d+)$")
 _SLOW_RE = re.compile(r"^slow:(\d+)@(\d+)x(\d+(?:\.\d+)?)$")
 _HICCUP_RE = re.compile(r"^hiccup:(\d+)@(\d+)\+(\d+)x(\d+(?:\.\d+)?)$")
@@ -61,8 +67,8 @@ class FaultEvent:
 
     def render(self) -> str:
         """Canonical spec fragment for this event."""
-        if self.kind == "fail":
-            return f"fail:{self.osd}@{self.epoch}"
+        if self.kind in ("fail", WEAROUT_KIND):
+            return f"{self.kind}:{self.osd}@{self.epoch}"
         if self.kind == "slow":
             return f"slow:{self.osd}@{self.epoch}x{self.factor:g}"
         return f"hiccup:{self.osd}@{self.epoch}+{self.duration}x{self.factor:g}"

@@ -7,10 +7,19 @@ so migration writes (and the follow-on write traffic of hot chunks) land on
 the least-worn drives.  Drives within a small load band are therefore
 ranked purely by remaining endurance, equalizing wear across the cluster
 while still meeting the load-balance target.
+
+With an endurance model configured (``cfg.endurance``), a third term joins
+the score: the bounded wear-out risk ``1 / (1 + predicted epochs to
+wear-out)``, so a drive that is *close to dying* -- high wear rate against
+little remaining rated life -- is penalized even when its absolute wear
+looks ordinary, and migrations steer away from near-death devices.  Unrated
+configs never compute the term, keeping their scores bit-identical to the
+endurance-unaware policy.
 """
 
 import numpy as np
 
+from edm.endurance import wearout_risk
 from edm.policies.base import ThresholdPolicy
 
 
@@ -23,14 +32,19 @@ class CmtPolicy(ThresholdPolicy):
     def pick_destination(self, candidates, proj_load, state, cfg):
         load = proj_load[candidates]
         wear = state.osd_wear[candidates]
-        # Normalize load and wear by *cluster-wide* scales (mean over alive
-        # OSDs), never by the candidate subset: a drive's score -- and hence
-        # the load-vs-wear trade-off -- must not change with who else happens
-        # to be a candidate this round.
+        # Normalize load, wear, and wear-out risk by *cluster-wide* scales
+        # (mean over alive OSDs), never by the candidate subset: a drive's
+        # score -- and hence the trade-off between the terms -- must not
+        # change with who else happens to be a candidate this round.
         alive = state.osd_alive
         mean_load = proj_load[alive].mean() if alive.any() else 0.0
         load_norm = load / mean_load if mean_load > 0 else load
         wear_scale = state.osd_wear[alive].mean() if alive.any() else 0.0
         wear_norm = wear / wear_scale if wear_scale > 0 else wear
         score = load_norm + cfg.wear_weight * wear_norm
+        if cfg.endurance:
+            risk = wearout_risk(state)
+            risk_scale = risk[alive].mean() if alive.any() else 0.0
+            if risk_scale > 0:
+                score = score + cfg.endurance_weight * (risk[candidates] / risk_scale)
         return int(candidates[np.argmin(score)])

@@ -56,18 +56,26 @@ def load_cached_metrics(cache_dir: str | Path) -> LoadedResults:
 
 
 def aggregate(metrics_rows: list[dict]) -> list[dict]:
-    """Mean of each table metric per (workload, policy, faults) cell, sorted.
+    """Mean per (workload, policy, faults, endurance) cell, sorted.
 
-    Healthy runs carry no ``faults`` key and land in the ``""`` scenario, so
-    a fault-free cache aggregates exactly as before; fault scenarios become
-    separate rows comparable side by side with their healthy baseline.
+    Healthy, unrated runs carry neither a ``faults`` nor an ``endurance``
+    key and land in the ``("", "")`` scenario, so a plain cache aggregates
+    exactly as before; fault scenarios and endurance models become separate
+    rows comparable side by side with their baseline.
     """
-    groups: dict[tuple[str, str, str], list[dict]] = {}
+    groups: dict[tuple[str, str, str, str], list[dict]] = {}
     for m in metrics_rows:
-        groups.setdefault((m["workload"], m["policy"], m.get("faults", "")), []).append(m)
+        key = (m["workload"], m["policy"], m.get("faults", ""), m.get("endurance", ""))
+        groups.setdefault(key, []).append(m)
     out = []
-    for (workload, policy, faults), rows in sorted(groups.items()):
-        cell = {"workload": workload, "policy": policy, "faults": faults, "runs": len(rows)}
+    for (workload, policy, faults, endurance), rows in sorted(groups.items()):
+        cell = {
+            "workload": workload,
+            "policy": policy,
+            "faults": faults,
+            "endurance": endurance,
+            "runs": len(rows),
+        }
         for key, _header, _fmt in TABLE_COLUMNS:
             cell[key] = sum(r[key] for r in rows) / len(rows)
         out.append(cell)
@@ -75,12 +83,15 @@ def aggregate(metrics_rows: list[dict]) -> list[dict]:
 
 
 def render_markdown(cells: list[dict]) -> str:
-    # The faults column only appears once a fault scenario is present, so
-    # healthy-cluster reports keep their historical shape.
+    # The faults / endurance columns only appear once such a scenario is
+    # present, so plain healthy-cluster reports keep their historical shape.
     show_faults = any(c.get("faults") for c in cells)
+    show_endurance = any(c.get("endurance") for c in cells)
     headers = ["workload", "policy"]
     if show_faults:
         headers.append("faults")
+    if show_endurance:
+        headers.append("endurance")
     headers += ["runs"] + [h for _k, h, _f in TABLE_COLUMNS]
     lines = [
         "| " + " | ".join(headers) + " |",
@@ -90,6 +101,8 @@ def render_markdown(cells: list[dict]) -> str:
         values = [c["workload"], c["policy"]]
         if show_faults:
             values.append(c.get("faults") or "healthy")
+        if show_endurance:
+            values.append(c.get("endurance") or "unrated")
         values.append(str(c["runs"]))
         values += [format(c[key], fmt) for key, _h, fmt in TABLE_COLUMNS]
         lines.append("| " + " | ".join(values) + " |")

@@ -55,17 +55,23 @@ def default_grid(
     seeds=(12345, 54321),
     skew: float = 0.02,
     faults=("",),
+    endurance=("",),
     **overrides,
 ) -> list[SimConfig]:
     """The paper's evaluation grid: 4 workloads x {16,20} OSDs x 4 policies x 2 seeds.
 
-    ``faults`` is an extra grid axis of fault-scenario specs (see
-    :mod:`edm.faults.plan`); the default single empty spec is the healthy
-    cluster and leaves the grid exactly as the paper evaluates it.
+    ``faults`` and ``endurance`` are extra grid axes of fault-scenario and
+    endurance-model specs (see :mod:`edm.faults.plan` /
+    :mod:`edm.endurance.spec`); the default single empty spec on each is
+    the healthy, unrated cluster and leaves the grid exactly as the paper
+    evaluates it.
     """
     return [
-        SimConfig(workload=w, num_osds=n, policy=p, seed=s, skew=skew, faults=f, **overrides)
-        for w, n, p, s, f in product(workloads, osds, policies, seeds, faults)
+        SimConfig(
+            workload=w, num_osds=n, policy=p, seed=s, skew=skew,
+            faults=f, endurance=e, **overrides,
+        )
+        for w, n, p, s, f, e in product(workloads, osds, policies, seeds, faults, endurance)
     ]
 
 
@@ -136,9 +142,10 @@ def _run_config(task: _Task) -> dict:
             config_hash=config_hash(cfg),
             engine_version=ENGINE_VERSION,
         )
-        if cfg.faults:
-            # Tag every fired fault event in the run log, streamed from the
-            # worker as the simulation crosses each event's epoch.
+        if cfg.faults or cfg.endurance:
+            # Tag every fired fault event (scheduled or wear-out) in the run
+            # log, streamed from the worker as the simulation crosses each
+            # event's epoch.
             recorders = (*recorders, _FaultLogRecorder(writer, run_id, cfg.cache_name()))
 
     t0 = time.perf_counter()

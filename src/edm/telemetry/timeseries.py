@@ -2,7 +2,9 @@
 
 ``TimeSeriesRecorder`` accumulates the paper's longitudinal evaluation
 curves -- per-OSD load, load CoV, peak ratio, cumulative per-OSD wear, wear
-CoV, and migrations per interval -- into preallocated NumPy buffers, sampling
+CoV, migrations per interval, and the alive-masked remaining rated lifetime
+(min/mean; ``+inf`` without an endurance model) -- into preallocated NumPy
+buffers, sampling
 every ``record_every`` epochs.  ``finalize`` always captures the end-of-run
 state (after the last migration round), so the final row matches the scalar
 metrics dict exactly and ``migrations.sum()`` equals ``migrations_total``.
@@ -33,7 +35,9 @@ if TYPE_CHECKING:
 # Bump when the TimeSeries array set or meta layout changes.
 # 2: added per-sample ``alive`` (surviving-OSD count) and ``replacements``
 #    (failure re-placement moves since the previous sample).
-SERIES_FORMAT_VERSION = 2
+# 3: added the lifetime columns ``remaining_life_min`` / ``remaining_life_mean``
+#    (alive-masked remaining rated life; ``+inf`` without an endurance model).
+SERIES_FORMAT_VERSION = 3
 
 _ARRAY_FIELDS = (
     "epoch",
@@ -45,7 +49,18 @@ _ARRAY_FIELDS = (
     "migrations",
     "alive",
     "replacements",
+    "remaining_life_min",
+    "remaining_life_mean",
 )
+
+# Fields a v3 reader tolerates missing from older files, with the fill value
+# a pre-endurance run would have recorded.  A v2 ``.npz`` (no lifetime
+# columns -- by definition written by an engine without an endurance model)
+# therefore loads and round-trips instead of raising.
+_V2_COMPAT_FILLS = {
+    "remaining_life_min": np.inf,
+    "remaining_life_mean": np.inf,
+}
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,8 @@ class TimeSeries:
     migrations: np.ndarray       # int64 [T], moves applied since previous sample
     alive: np.ndarray            # int64 [T], surviving-OSD count at each sample
     replacements: np.ndarray     # int64 [T], failure re-placements since previous sample
+    remaining_life_min: np.ndarray   # float64 [T], min remaining rated life over alive OSDs
+    remaining_life_mean: np.ndarray  # float64 [T], mean remaining rated life over alive OSDs
 
     @property
     def num_samples(self) -> int:
@@ -99,9 +116,19 @@ class TimeSeries:
 
     @classmethod
     def load_npz(cls, path: str | os.PathLike) -> "TimeSeries":
+        """Load a ``.npz`` series; v2 files (no lifetime columns) still load.
+
+        Missing v3 lifetime columns are backfilled with the values a
+        pre-endurance engine would have recorded (``+inf`` remaining life),
+        so a v2 file round-trips through load -> save -> load.  Files
+        missing any *core* column are still rejected.
+        """
         with np.load(path, allow_pickle=False) as npz:
             meta = json.loads(str(npz["meta"][()]))
-            missing = [k for k in _ARRAY_FIELDS if k not in npz.files]
+            missing = [
+                k for k in _ARRAY_FIELDS
+                if k not in npz.files and k not in _V2_COMPAT_FILLS
+            ]
             if missing:
                 raise ValueError(
                     f"{path}: series written by format "
@@ -109,7 +136,11 @@ class TimeSeries:
                     f"re-run `edm sweep --timeseries` to regenerate "
                     f"(current format v{SERIES_FORMAT_VERSION})"
                 )
-            arrays = {k: npz[k] for k in _ARRAY_FIELDS}
+            arrays = {k: npz[k] for k in _ARRAY_FIELDS if k in npz.files}
+            samples = int(arrays["epoch"].shape[0])
+            for k, fill in _V2_COMPAT_FILLS.items():
+                if k not in arrays:
+                    arrays[k] = np.full(samples, fill)
         return cls(meta=meta, **arrays)
 
     def to_json_dict(self) -> dict:
@@ -132,7 +163,7 @@ class TimeSeries:
         n = self.num_osds
         header = (
             ["epoch", "load_cov", "load_peak_ratio", "wear_cov", "migrations",
-             "alive", "replacements"]
+             "alive", "replacements", "remaining_life_min", "remaining_life_mean"]
             + [f"load_osd{i}" for i in range(n)]
             + [f"wear_osd{i}" for i in range(n)]
         )
@@ -149,6 +180,8 @@ class TimeSeries:
                         int(self.migrations[t]),
                         int(self.alive[t]),
                         int(self.replacements[t]),
+                        float(self.remaining_life_min[t]),
+                        float(self.remaining_life_mean[t]),
                     ]
                     + [float(v) for v in self.load[t]]
                     + [float(v) for v in self.wear[t]]
@@ -187,6 +220,8 @@ class TimeSeriesRecorder(Recorder):
         self._migrations = np.zeros(cap, dtype=np.int64)
         self._alive = np.zeros(cap, dtype=np.int64)
         self._replacements = np.zeros(cap, dtype=np.int64)
+        self._life_min = np.zeros(cap)
+        self._life_mean = np.zeros(cap)
         self._i = 0
         self._window = 0       # moves applied since the last recorded sample
         self._repl_window = 0  # failure re-placements since the last sample
@@ -219,6 +254,7 @@ class TimeSeriesRecorder(Recorder):
             self._wear[i] = state.osd_wear
             wm = state.osd_wear.mean()
             self._wear_cov[i] = float(state.osd_wear.std() / wm) if wm > 0 else 0.0
+            self._record_lifetime(i, state)
         else:
             self._record(last, final_load, state)
         i = self._i
@@ -236,6 +272,7 @@ class TimeSeriesRecorder(Recorder):
                 "record_every": self.record_every,
                 "chunk_size_mb": cfg.chunk_size_mb,
                 "faults": cfg.faults,
+                "endurance": cfg.endurance,
             },
             epoch=self._epoch[:i].copy(),
             load=self._load[:i].copy(),
@@ -246,8 +283,15 @@ class TimeSeriesRecorder(Recorder):
             migrations=self._migrations[:i].copy(),
             alive=self._alive[:i].copy(),
             replacements=self._replacements[:i].copy(),
+            remaining_life_min=self._life_min[:i].copy(),
+            remaining_life_mean=self._life_mean[:i].copy(),
         )
         return self.series
+
+    def _record_lifetime(self, i: int, state: "ClusterState") -> None:
+        rem = state.remaining_life()[state.osd_alive]
+        self._life_min[i] = rem.min() if rem.size else 0.0
+        self._life_mean[i] = rem.mean() if rem.size else 0.0
 
     def _record(self, epoch: int, load: np.ndarray, state: "ClusterState") -> None:
         wear = state.osd_wear
@@ -267,4 +311,5 @@ class TimeSeriesRecorder(Recorder):
         self._alive[i] = int(state.osd_alive.sum())
         self._replacements[i] = self._repl_window
         self._repl_window = 0
+        self._record_lifetime(i, state)
         self._i = i + 1

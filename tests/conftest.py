@@ -4,18 +4,39 @@ import pytest
 from edm.config import SimConfig
 from edm.engine.state import ClusterState
 
+# Shared tiny sizing: fast enough that a module can run dozens of full
+# simulations, big enough that migrations and wear actually happen.
+SMALL_CFG_KW = dict(
+    workload="deasna",
+    num_osds=4,
+    policy="cmt",
+    epochs=32,
+    requests_per_epoch=512,
+    chunks_per_osd=8,
+)
+
+
+def cfg_factory(**overrides) -> SimConfig:
+    """Tiny :class:`SimConfig` with per-test overrides.
+
+    The one place test modules build configs from: importable directly for
+    module-level helpers (``from conftest import cfg_factory``) and exposed
+    as the ``make_cfg`` fixture, replacing the per-module
+    ``SimConfig(**{**small_cfg.to_dict(), ...})`` boilerplate.
+    """
+    return SimConfig(**{**SMALL_CFG_KW, **overrides})
+
+
+@pytest.fixture
+def make_cfg():
+    """Config factory fixture: ``make_cfg(policy="hdf", epochs=8)``."""
+    return cfg_factory
+
 
 @pytest.fixture
 def small_cfg():
-    """Tiny config for fast unit runs."""
-    return SimConfig(
-        workload="deasna",
-        num_osds=4,
-        policy="cmt",
-        epochs=32,
-        requests_per_epoch=512,
-        chunks_per_osd=8,
-    )
+    """Tiny config for fast unit runs (the factory's defaults, unchanged)."""
+    return cfg_factory()
 
 
 def make_state(

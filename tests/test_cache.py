@@ -27,11 +27,11 @@ def test_filename_matches_historical_key_format(cache):
     assert cache.path_for(cfg).name == "lair62b-20osd-cmt-s0.02-r54321.pkl"
 
 
-def test_config_hash_mismatch_invalidates_stale_pickle(cache, small_cfg):
+def test_config_hash_mismatch_invalidates_stale_pickle(cache, small_cfg, make_cfg):
     metrics = simulate(small_cfg)
     path = cache.store(small_cfg, metrics)
     # Same cache filename, different engine knobs -> same path, different hash.
-    changed = SimConfig(**{**small_cfg.to_dict(), "heat_alpha": 0.9})
+    changed = make_cfg(heat_alpha=0.9)
     assert cache.path_for(changed) == path
     assert cache.load(changed) is None
     assert cache.invalidated == 1

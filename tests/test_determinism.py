@@ -2,33 +2,33 @@
 
 import pytest
 
-from edm.config import SimConfig, config_hash
+from edm.config import config_hash
 from edm.engine.core import simulate
 
 
 @pytest.mark.parametrize("policy", ["baseline", "hdf", "cmt"])
-def test_repeat_run_identical(policy, small_cfg):
-    cfg = SimConfig(**{**small_cfg.to_dict(), "policy": policy})
+def test_repeat_run_identical(policy, make_cfg):
+    cfg = make_cfg(policy=policy)
     assert simulate(cfg) == simulate(cfg)
 
 
-def test_different_seed_differs(small_cfg):
-    a = simulate(small_cfg)
-    b = simulate(SimConfig(**{**small_cfg.to_dict(), "seed": 999}))
+def test_different_seed_differs(make_cfg):
+    a = simulate(make_cfg())
+    b = simulate(make_cfg(seed=999))
     assert a != b
 
 
-def test_different_policy_same_seed_different_workload_stream_ok(small_cfg):
+def test_different_policy_same_seed_different_workload_stream_ok(small_cfg, make_cfg):
     # Policies see the same workload family but configs hash differently;
     # the run must still be internally deterministic.
-    hdf = SimConfig(**{**small_cfg.to_dict(), "policy": "hdf"})
+    hdf = make_cfg(policy="hdf")
     assert simulate(hdf) == simulate(hdf)
     assert simulate(hdf) != simulate(small_cfg)
 
 
-def test_config_hash_stability_and_sensitivity(small_cfg):
-    assert config_hash(small_cfg) == config_hash(SimConfig(**small_cfg.to_dict()))
-    bumped = SimConfig(**{**small_cfg.to_dict(), "epochs": small_cfg.epochs + 1})
+def test_config_hash_stability_and_sensitivity(small_cfg, make_cfg):
+    assert config_hash(small_cfg) == config_hash(make_cfg())
+    bumped = make_cfg(epochs=small_cfg.epochs + 1)
     assert config_hash(bumped) != config_hash(small_cfg)
 
 

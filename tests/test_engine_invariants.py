@@ -4,14 +4,13 @@ import numpy as np
 import pytest
 
 from conftest import make_state
-from edm.config import SimConfig
 from edm.engine.core import apply_migrations, simulate
 from edm.engine.state import init_state
 
 
 @pytest.mark.parametrize("policy", ["baseline", "cdf", "hdf", "cmt"])
-def test_full_run_conserves_chunks(policy, small_cfg):
-    cfg = SimConfig(**{**small_cfg.to_dict(), "policy": policy})
+def test_full_run_conserves_chunks(policy, make_cfg):
+    cfg = make_cfg(policy=policy)
     metrics = simulate(cfg)
     # The owner map is total by construction; simulate() also runs
     # state.validate().  Check the run actually happened.
@@ -88,9 +87,9 @@ def test_apply_migrations_dropped_moves_charge_no_wear(small_cfg):
     assert state.osd_wear[3] == pytest.approx(per_move)
 
 
-def test_migrate_interval_longer_than_run(small_cfg):
+def test_migrate_interval_longer_than_run(small_cfg, make_cfg):
     """An interval past the horizon means zero migrations, finite metrics."""
-    cfg = SimConfig(**{**small_cfg.to_dict(), "migrate_interval": small_cfg.epochs * 4})
+    cfg = make_cfg(migrate_interval=small_cfg.epochs * 4)
     metrics = simulate(cfg)
     assert metrics["epochs"] == cfg.epochs
     assert metrics["migrations_total"] == 0
@@ -98,9 +97,9 @@ def test_migrate_interval_longer_than_run(small_cfg):
     assert np.isfinite(metrics["wear_cov"])
 
 
-def test_single_epoch_run(small_cfg):
+def test_single_epoch_run(make_cfg):
     """epochs=1 is the smallest legal run and must finalize cleanly."""
-    cfg = SimConfig(**{**small_cfg.to_dict(), "epochs": 1})
+    cfg = make_cfg(epochs=1)
     metrics = simulate(cfg)
     assert metrics["epochs"] == 1
     assert np.isfinite(metrics["load_cov_mean"])

@@ -6,9 +6,9 @@ import json
 import numpy as np
 import pytest
 
-from conftest import make_state
+from conftest import cfg_factory, make_state
 from edm.cli import main as cli_main
-from edm.config import SimConfig, rng_seed_sequence
+from edm.config import rng_seed_sequence
 from edm.engine.core import replace_dead_chunks, simulate
 from edm.engine.state import init_state
 from edm.faults import FaultEvent, FaultPlan, FaultRuntime, effective_load
@@ -16,13 +16,9 @@ from edm.obs import read_run_log
 from edm.policies import get_policy
 from edm.telemetry import Recorder, TimeSeriesRecorder
 
-FAULTY = dict(epochs=32, requests_per_epoch=512, chunks_per_osd=8)
-
 
 def cfg_with(faults="", policy="cmt", **kw):
-    base = dict(workload="deasna", num_osds=8, policy=policy, seed=7, **FAULTY)
-    base.update(kw)
-    return SimConfig(faults=faults, **base)
+    return cfg_factory(faults=faults, policy=policy, num_osds=8, seed=7, **kw)
 
 
 # --- plan parsing / validation ----------------------------------------------
@@ -110,8 +106,8 @@ def test_fail_pins_alive_and_capacity(small_cfg):
 
 
 @pytest.mark.parametrize("policy_name", ["baseline", "cdf", "hdf", "cmt"])
-def test_replace_dead_chunks_evacuates_via_policy(small_cfg, policy_name):
-    cfg = SimConfig(**{**small_cfg.to_dict(), "policy": policy_name})
+def test_replace_dead_chunks_evacuates_via_policy(make_cfg, policy_name):
+    cfg = make_cfg(policy=policy_name)
     state = init_state(cfg)
     state.osd_alive[1] = False
     state.osd_capacity[1] = 0.0

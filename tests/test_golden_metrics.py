@@ -1,0 +1,71 @@
+"""Cross-policy determinism regression: golden metrics hashes.
+
+Each case hashes the full metrics dict (canonical JSON) of one fixed small
+config.  The hashes are pinned to ENGINE_VERSION: any change to routing,
+policy scoring, wear accounting, fault handling, or metric computation --
+intended or not -- flips a digest and fails here.
+
+If a failure is *intentional* (you changed engine semantics on purpose):
+  1. bump ENGINE_VERSION in src/edm/config.py and document what changed,
+  2. re-generate the digests below (the failure message prints the new one),
+  3. update GOLDEN in the same commit as the semantic change.
+Never update a digest without a version bump: an unexplained flip means the
+engine silently stopped reproducing published results.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from conftest import cfg_factory
+from edm.config import ENGINE_VERSION
+from edm.engine.core import simulate
+
+PINNED_ENGINE_VERSION = 4
+
+GOLDEN = {
+    "baseline": "204bf55851419b3ce608213e5ebc7695fe4159753d878af9728027e93e8975cd",
+    "cdf": "18eeff315672328aed5db035f3a97a062d95b5e847094106c564416f15da7a64",
+    "hdf": "7587520683ebd85a86a34428ec624a27dfd5854c2042302c0ac41dc52ec49215",
+    "cmt": "4cc68da3d89eeaec163922899a83ecbfa1aac9a038eb6f7d99284664736bac10",
+    "cmt-degraded-rated": "b27d481f49c3ab7265d1b077a8c99668af5015eacd5e98bc96753e2a35179800",
+}
+
+CASES = {
+    "baseline": dict(policy="baseline"),
+    "cdf": dict(policy="cdf"),
+    "hdf": dict(policy="hdf"),
+    "cmt": dict(policy="cmt"),
+    # Degraded + rated: exercises fault re-placement, wear-out failures, and
+    # the endurance metrics block in one config.
+    "cmt-degraded-rated": dict(policy="cmt", faults="fail:1@8", endurance="pe:900"),
+}
+
+
+def metrics_digest(metrics: dict) -> str:
+    blob = json.dumps(metrics, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def test_goldens_match_engine_version():
+    assert ENGINE_VERSION == PINNED_ENGINE_VERSION, (
+        f"ENGINE_VERSION is now {ENGINE_VERSION} but the golden digests were "
+        f"generated under {PINNED_ENGINE_VERSION}.  If the engine's semantics "
+        f"changed intentionally, re-generate GOLDEN in test_golden_metrics.py "
+        f"and bump PINNED_ENGINE_VERSION in the same commit."
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_metrics_hash(name):
+    cfg = cfg_factory(num_osds=8, seed=7, **CASES[name])
+    digest = metrics_digest(simulate(cfg))
+    assert digest == GOLDEN[name], (
+        f"metrics for {name!r} drifted: got {digest}, pinned {GOLDEN[name]}.\n"
+        f"The engine no longer reproduces this config bit-for-bit.  If that "
+        f"is intentional, bump ENGINE_VERSION (cache invalidation), update "
+        f"PINNED_ENGINE_VERSION and this digest in the same commit, and note "
+        f"the semantic change in the ENGINE_VERSION comment; otherwise this "
+        f"is a determinism regression -- find it before merging."
+    )

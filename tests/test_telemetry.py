@@ -127,6 +127,7 @@ def test_npz_roundtrip(small_cfg, tmp_path):
     fields = (
         "epoch", "load", "load_cov", "load_peak_ratio", "wear", "wear_cov",
         "migrations", "alive", "replacements",
+        "remaining_life_min", "remaining_life_mean",
     )
     for name in fields:
         assert np.array_equal(getattr(loaded, name), getattr(rec.series, name)), name
@@ -140,9 +141,10 @@ def test_csv_and_json_export(small_cfg, tmp_path):
     lines = csv_path.read_text().strip().splitlines()
     assert len(lines) == 1 + s.num_samples
     assert lines[0].startswith(
-        "epoch,load_cov,load_peak_ratio,wear_cov,migrations,alive,replacements"
+        "epoch,load_cov,load_peak_ratio,wear_cov,migrations,alive,replacements,"
+        "remaining_life_min,remaining_life_mean"
     )
-    assert lines[0].count(",") == 6 + 2 * s.num_osds
+    assert lines[0].count(",") == 8 + 2 * s.num_osds
 
     json_path = s.save_json(tmp_path / "series.json")
     import json

@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from edm.config import SimConfig
+from conftest import cfg_factory
 from edm.engine.core import simulate
 from edm.obs import NULL_TRACER, NullTracer, Tracer
 
@@ -137,14 +137,7 @@ def test_traced_simulate_metrics_identical_minus_timings(small_cfg):
 def test_spans_cover_at_least_80pct_of_simulate_wall_time():
     # Acceptance gate: with tracing on, the phase spans account for >= 80%
     # of simulate()'s wall time (nothing significant runs untimed).
-    cfg = SimConfig(
-        workload="deasna",
-        num_osds=8,
-        policy="cmt",
-        epochs=128,
-        requests_per_epoch=4096,
-        chunks_per_osd=16,
-    )
+    cfg = cfg_factory(num_osds=8, epochs=128, requests_per_epoch=4096, chunks_per_osd=16)
     tr = Tracer()
     t0 = time.perf_counter()
     metrics = simulate(cfg, tracer=tr)
