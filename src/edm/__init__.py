@@ -16,6 +16,8 @@ Stable public API (everything in ``__all__``):
     TimeSeries         -- captured series + .npz/JSON/CSV exporters
     resolve_policy     -- canonical policy name (resolves the ``edm`` alias)
     config_hash        -- content hash keying the result cache
+    available_kernels  -- epoch-kernel backends importable right now
+    resolve_kernel     -- which backend a ``cfg.kernel`` value lands on
     Tracer             -- span timer: ``simulate(cfg, tracer=Tracer())`` puts
                           phase timings in ``metrics["timings"]``
     RunLogWriter       -- structured JSONL run-log emitter (see edm.obs.runlog)
@@ -27,13 +29,14 @@ Stable public API (everything in ``__all__``):
 from edm.config import SimConfig, config_hash
 from edm.endurance import EnduranceModel
 from edm.engine.core import simulate
+from edm.engine.kernels import available_kernels, resolve_kernel
 from edm.faults import FaultEvent, FaultPlan
 from edm.obs import RunLogWriter, Tracer, append_history, compare_reports, read_run_log
 from edm.policies import resolve_policy
 from edm.sweep import SweepResult, default_grid, sweep
 from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "EnduranceModel",
@@ -47,10 +50,12 @@ __all__ = [
     "TimeSeriesRecorder",
     "Tracer",
     "append_history",
+    "available_kernels",
     "compare_reports",
     "config_hash",
     "default_grid",
     "read_run_log",
+    "resolve_kernel",
     "resolve_policy",
     "simulate",
     "sweep",

@@ -16,7 +16,7 @@ from pathlib import Path
 from edm import bench as bench_mod
 from edm import report as report_mod
 from edm.cache import DEFAULT_CACHE_DIR
-from edm.config import POLICY_ALIASES, POLICIES, WORKLOADS, SimConfig
+from edm.config import KERNELS, POLICY_ALIASES, POLICIES, WORKLOADS, SimConfig
 from edm.engine.core import simulate
 from edm.obs import configure_logging, get_logger
 from edm.obs.log import level_from_args
@@ -36,10 +36,17 @@ def _add_engine_args(ap: argparse.ArgumentParser) -> None:
     ap.add_argument("--epochs", type=int, default=None)
     ap.add_argument("--requests", type=int, default=None, help="requests per epoch")
     ap.add_argument("--skew", type=float, default=0.02)
+    ap.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="auto",
+        help="epoch-kernel backend: numpy, numba (requires edm-sim[jit]), or "
+        "auto = numba when importable (default; results are bit-identical)",
+    )
 
 
 def _overrides(args) -> dict:
-    out = {"skew": args.skew}
+    out = {"skew": args.skew, "kernel": args.kernel}
     if args.epochs is not None:
         out["epochs"] = args.epochs
     if args.requests is not None:
@@ -89,6 +96,9 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    if args.stream and args.no_cache:
+        log.error("--stream needs the result cache; drop --no-cache")
+        return 2
     grid = default_grid(
         workloads=_csv(args.workloads),
         osds=[int(n) for n in _csv(args.osds)],
@@ -108,6 +118,7 @@ def cmd_sweep(args) -> int:
         record_every=args.record_every,
         run_log=args.run_log,
         progress=args.progress,
+        stream=args.stream,
     )
     for cfg, metrics in zip(grid, result.results):
         print(
@@ -246,6 +257,13 @@ def main(argv: list[str] | None = None) -> int:
         "--progress",
         action="store_true",
         help="live done/total + ETA + req/s line on stderr while the sweep runs",
+    )
+    sweep_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream full metrics to the cache from inside workers and keep only "
+        "slim per-config summaries in the parent (memory independent of grid "
+        "size; incompatible with --no-cache)",
     )
     sweep_p.add_argument(
         "--faults",

@@ -26,6 +26,11 @@ from edm.engine.state import ClusterState
 from edm.telemetry.recorder import EpochStats, Recorder
 
 
+# Rows buffered per CoV block (see MetricsAccumulator._flush_loads): bounds
+# the history to block_size x num_osds floats regardless of epoch count.
+_COV_BLOCK = 4096
+
+
 class MetricsAccumulator(Recorder):
     def __init__(self):
         self.cfg: SimConfig | None = None
@@ -37,6 +42,14 @@ class MetricsAccumulator(Recorder):
         self._epochs = 0
         self._total_requests = 0
         self._total_writes = 0
+        # Healthy runs defer the per-epoch load CoV / peak-ratio math: load
+        # vectors are copied into a fixed block buffer and reduced row-wise
+        # per flush (same per-row arithmetic as the scalar calls, summed in
+        # the same left-to-right order via cumsum, so the result is
+        # bit-identical -- pinned by tests).  Faulted runs keep the scalar
+        # path: on_fault reads the running CoV mean mid-run.
+        self._load_hist = np.empty((min(_COV_BLOCK, max(cfg.epochs, 1)), state.num_osds))
+        self._hist_fill = 0
         # Degraded-mode tracking (only exercised when cfg.faults is set, so
         # healthy runs keep their historical metrics dict bit-for-bit).
         self._faulted = bool(cfg.faults)
@@ -71,15 +84,39 @@ class MetricsAccumulator(Recorder):
             self._recovery_epochs = -1
 
     def on_epoch(self, state: ClusterState, load: np.ndarray, stats: EpochStats) -> None:
-        mean = load.mean()
-        if mean > 0:
-            self._cov_sum += float(load.std() / mean)
-            self._peak_ratio_sum += float(load.max() / mean)
         if self._faulted:
+            mean = load.mean()
+            if mean > 0:
+                self._cov_sum += float(load.std() / mean)
+                self._peak_ratio_sum += float(load.max() / mean)
             self._track_degraded(state, load, stats)
+        else:
+            self._load_hist[self._hist_fill] = load
+            self._hist_fill += 1
+            if self._hist_fill == len(self._load_hist):
+                self._flush_loads()
         self._epochs += 1
         self._total_requests += stats.requests
         self._total_writes += stats.writes
+
+    def _flush_loads(self) -> None:
+        """Fold the buffered load vectors into the running CoV / peak sums."""
+        if self._hist_fill == 0:
+            return
+        block = self._load_hist[: self._hist_fill]
+        mean = block.mean(axis=1)
+        ok = mean > 0
+        cov = block.std(axis=1)[ok] / mean[ok]
+        peak = block.max(axis=1)[ok] / mean[ok]
+        if cov.size:
+            # cumsum folds left to right: the exact addition order (and
+            # rounding) of the scalar `+=` per epoch, resumed from the
+            # running totals.
+            self._cov_sum = float(np.cumsum(np.concatenate(([self._cov_sum], cov)))[-1])
+            self._peak_ratio_sum = float(
+                np.cumsum(np.concatenate(([self._peak_ratio_sum], peak)))[-1]
+            )
+        self._hist_fill = 0
 
     def _track_degraded(self, state: ClusterState, load: np.ndarray, stats: EpochStats) -> None:
         alive = state.osd_alive
@@ -98,6 +135,7 @@ class MetricsAccumulator(Recorder):
         cfg = self.cfg
         if cfg is None:
             raise RuntimeError("finalize() before on_run_start()")
+        self._flush_loads()
         wear = state.osd_wear
         wear_mean = float(wear.mean())
         epochs = max(self._epochs, 1)

@@ -54,6 +54,29 @@ class MigrationPolicy(ABC):
         """
         return int(candidates[np.argmin(proj_load[candidates])])
 
+    def pick_destination_batch(
+        self,
+        candidates: np.ndarray,
+        proj_rows: np.ndarray,
+        state: ClusterState,
+        cfg: SimConfig,
+    ) -> np.ndarray:
+        """Vectorized ``pick_destination`` over many projected-load vectors.
+
+        ``proj_rows`` is a (rows, num_osds) matrix; the result's entry ``i``
+        must equal ``pick_destination(candidates, proj_rows[i], ...)``
+        **bit-for-bit** -- the engine's batched failure re-placement replays
+        the scalar greedy through this method (see
+        :func:`edm.engine.core.replace_dead_chunks`), so any subclass that
+        overrides ``pick_destination`` must override this in lockstep or the
+        engine falls back to the exact per-chunk loop.
+
+        Default scoring is raw projected load, so a row-wise argmin over the
+        candidate columns reproduces the scalar pick exactly (ties resolve
+        to the first minimum in both shapes).
+        """
+        return candidates[np.argmin(proj_rows[:, candidates], axis=1)]
+
 
 class ThresholdPolicy(MigrationPolicy):
     """Overload-threshold skeleton shared by CDF / HDF / CMT."""

@@ -39,12 +39,54 @@ class CmtPolicy(ThresholdPolicy):
         alive = state.osd_alive
         mean_load = proj_load[alive].mean() if alive.any() else 0.0
         load_norm = load / mean_load if mean_load > 0 else load
+        wear_term, risk_term = self._static_score_terms(candidates, state, cfg)
+        score = load_norm + wear_term
+        if risk_term is not None:
+            score = score + risk_term
+        return int(candidates[np.argmin(score)])
+
+    def pick_destination_batch(self, candidates, proj_rows, state, cfg):
+        """Row-wise CMT scoring, bit-identical to the scalar pick.
+
+        Only the load term varies across rows (wear and wear-out risk are
+        frozen while a re-placement burst runs); each row normalizes by its
+        own alive-mean, falling back to the raw load for rows whose mean is
+        not positive -- the same branch the scalar path takes.  Every
+        floating-point operation broadcasts the scalar path's exact
+        sequence, so row ``i`` scores byte-equal to a scalar pick at that
+        projected load.
+        """
+        alive = state.osd_alive
+        load = proj_rows[:, candidates]
+        if alive.any():
+            mean_load = proj_rows[:, alive].mean(axis=1)[:, None]
+        else:
+            mean_load = np.zeros((len(proj_rows), 1))
+        load_norm = load.copy()
+        np.divide(load, mean_load, out=load_norm, where=mean_load > 0)
+        wear_term, risk_term = self._static_score_terms(candidates, state, cfg)
+        score = load_norm + wear_term
+        if risk_term is not None:
+            score = score + risk_term
+        return candidates[np.argmin(score, axis=1)]
+
+    def _static_score_terms(self, candidates, state, cfg):
+        """Wear and wear-out-risk score terms: independent of projected load.
+
+        Returns ``(wear_term, risk_term-or-None)`` separately -- the scalar
+        score has always been ``(load_norm + wear_term) + risk_term``, and
+        preserving that exact addition order is what keeps the scalar and
+        batch paths (and the pinned golden hashes) bit-identical.
+        """
+        alive = state.osd_alive
+        wear = state.osd_wear[candidates]
         wear_scale = state.osd_wear[alive].mean() if alive.any() else 0.0
         wear_norm = wear / wear_scale if wear_scale > 0 else wear
-        score = load_norm + cfg.wear_weight * wear_norm
+        wear_term = cfg.wear_weight * wear_norm
+        risk_term = None
         if cfg.endurance:
             risk = wearout_risk(state)
             risk_scale = risk[alive].mean() if alive.any() else 0.0
             if risk_scale > 0:
-                score = score + cfg.endurance_weight * (risk[candidates] / risk_scale)
-        return int(candidates[np.argmin(score)])
+                risk_term = cfg.endurance_weight * (risk[candidates] / risk_scale)
+        return wear_term, risk_term

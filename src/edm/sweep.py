@@ -26,6 +26,16 @@ observability: each worker appends ``run_start``/``run_end`` JSONL records
 log, and the parent brackets them with ``sweep_start``/``sweep_end`` records
 carrying cache counters and the parent-side stage spans (cache probe, pool
 startup, result collection).  See :mod:`edm.obs.runlog` for the schema.
+
+With ``stream=True``, result transport scales to 1000s-config grids: each
+worker spills its full metrics dict straight into the ``.repro-cache``
+layout (the same content-addressed pickles a normal sweep writes) and
+returns only a slim summary record -- the handful of scalars the sweep
+table, progress meter, and report need.  The parent never materializes the
+full result set, so its peak memory is independent of grid size;
+:meth:`SweepResult.iter_results` lazily re-loads full metrics from the
+cache, one config at a time, in input order.  Worker-side spilling also
+means an interrupted streaming sweep keeps every completed config's work.
 """
 
 from __future__ import annotations
@@ -43,9 +53,27 @@ from edm.engine.core import simulate
 from edm.obs import NULL_TRACER, ProgressLine, RunLogWriter, Tracer, get_logger, new_id
 from edm.telemetry import Recorder, TimeSeriesRecorder
 
-__all__ = ["SweepResult", "default_grid", "series_path", "sweep"]
+__all__ = ["SUMMARY_KEYS", "SweepResult", "default_grid", "series_path", "sweep"]
 
 log = get_logger("sweep")
+
+#: Scalar metrics carried by a streaming sweep's slim summary records --
+#: exactly what the sweep table, progress meter, and report-by-cache need.
+SUMMARY_KEYS = (
+    "total_requests",
+    "load_cov_mean",
+    "wear_spread",
+    "migrations_total",
+)
+
+
+def _summarize(cfg: SimConfig, metrics: dict) -> dict:
+    """Slim summary record for one config (what crosses the pool in stream mode)."""
+    summary = {k: metrics[k] for k in SUMMARY_KEYS}
+    summary["config"] = cfg.cache_name()
+    summary["config_hash"] = config_hash(cfg)
+    summary["streamed"] = True
+    return summary
 
 
 def default_grid(
@@ -110,6 +138,7 @@ class _Task:
     record_every: int
     run_log: str | None
     sweep_id: str
+    stream_cache_dir: str | None = None  # set => spill metrics here, return summary
 
 
 def _run_config(task: _Task) -> dict:
@@ -167,12 +196,24 @@ def _run_config(task: _Task) -> dict:
             requests_per_sec=metrics["total_requests"] / wall_s if wall_s > 0 else 0.0,
             timings=timings,
         )
+    if task.stream_cache_dir is not None:
+        # Spill the full (timing-free) metrics into the shared cache from
+        # inside the worker and send only a slim summary back to the parent.
+        ResultCache(task.stream_cache_dir).store(cfg, metrics)
+        return _summarize(cfg, metrics)
     return metrics
 
 
 @dataclass
 class SweepResult:
-    """Completed sweep: one metrics dict per input config, in input order."""
+    """Completed sweep: one record per input config, in input order.
+
+    In a normal sweep each record is the config's full metrics dict.  In a
+    streaming sweep (``stream=True``) each record is a slim summary
+    (:data:`SUMMARY_KEYS` plus identity fields) and the full metrics live
+    only in the result cache -- use :meth:`iter_results` to re-load them
+    lazily, one config at a time.
+    """
 
     results: list[dict]
     cache_hits: int
@@ -180,6 +221,9 @@ class SweepResult:
     cache_invalidated: int
     simulated: int
     timings: dict | None = None  # parent-side sweep.* span summary (None untraced)
+    streamed: bool = False
+    configs: tuple[SimConfig, ...] = ()  # input grid (set when streamed)
+    cache_dir: str | None = None  # where streamed full metrics live
 
     def __post_init__(self) -> None:
         bad = [i for i, r in enumerate(self.results) if not isinstance(r, dict)]
@@ -193,6 +237,27 @@ class SweepResult:
     def total_requests(self) -> int:
         return sum(r["total_requests"] for r in self.results)
 
+    def iter_results(self):
+        """Yield one *full* metrics dict per input config, in input order.
+
+        For a normal sweep this is just ``iter(results)``.  For a streaming
+        sweep each metrics dict is loaded from the cache on demand and
+        dropped before the next is read, so walking a huge grid keeps
+        memory bounded to a single config's metrics.
+        """
+        if not self.streamed:
+            yield from self.results
+            return
+        cache = ResultCache(self.cache_dir)
+        for cfg in self.configs:
+            metrics = cache.load(cfg)
+            if metrics is None:
+                raise RuntimeError(
+                    f"streamed sweep result for {cfg.cache_name()} missing from "
+                    f"cache {self.cache_dir} (evicted or engine version changed?)"
+                )
+            yield metrics
+
 
 def sweep(
     configs: list[SimConfig],
@@ -205,6 +270,7 @@ def sweep(
     run_log: str | os.PathLike | None = None,
     progress: bool = False,
     tracer: Tracer | None = None,
+    stream: bool = False,
 ) -> SweepResult:
     """Run every config, returning results in the order given.
 
@@ -218,7 +284,12 @@ def sweep(
     ``tracer`` times the parent-side stages as ``sweep.*`` spans; a tracer is
     created implicitly when ``run_log`` is set so the ``sweep_end`` record
     always carries stage timings.  The summary lands on ``SweepResult.timings``.
+    ``stream=True`` keeps parent memory independent of grid size: workers
+    spill full metrics into the cache and return slim summaries (see module
+    docstring); requires ``use_cache``.
     """
+    if stream and not use_cache:
+        raise ValueError("stream=True requires use_cache=True (results live in the cache)")
     if tracer is not None:
         tr = tracer
     elif run_log is not None:
@@ -242,7 +313,9 @@ def sweep(
             if cache is not None and not force and have_series:
                 hit = cache.load(cfg)
                 if hit is not None:
-                    slots[i] = hit
+                    # Stream mode keeps only the summary; the full metrics
+                    # stay on disk and are dropped as soon as summarized.
+                    slots[i] = _summarize(cfg, hit) if stream else hit
                     continue
             pending.append(i)
 
@@ -262,15 +335,21 @@ def sweep(
 
     def _land(i: int, metrics: dict) -> None:
         slots[i] = metrics
-        if cache is not None:
+        if cache is not None and not stream:
+            # In stream mode the worker already stored the full metrics;
+            # what lands here is only the slim summary.
             cache.store(configs[i], metrics)
         meter.advance(metrics.get("total_requests", 0))
 
     if pending:
         ts_dir_arg = str(ts_dir) if ts_dir is not None else None
         run_log_arg = str(run_log) if run_log is not None else None
+        stream_dir = str(cache_dir) if stream else None
         tasks = [
-            _Task(configs[i].to_dict(), ts_dir_arg, record_every, run_log_arg, sweep_id)
+            _Task(
+                configs[i].to_dict(), ts_dir_arg, record_every, run_log_arg,
+                sweep_id, stream_dir,
+            )
             for i in pending
         ]
         try:
@@ -304,6 +383,9 @@ def sweep(
         cache_invalidated=cache.invalidated if cache else 0,
         simulated=len(pending),
         timings=tr.summary() if tr.enabled else None,
+        streamed=stream,
+        configs=tuple(configs) if stream else (),
+        cache_dir=str(cache_dir) if stream else None,
     )
     if writer is not None:
         writer.emit(

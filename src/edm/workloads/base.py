@@ -35,13 +35,27 @@ class SyntheticTrace:
         ranks = np.arange(1, cfg.num_chunks + 1, dtype=np.float64)
         p = ranks ** -theta
         self._base_probs = p / p.sum()
+        # Hot-path buffers: the float64 count arrays handed to the engine,
+        # rewritten in place every epoch so the kernel never casts or
+        # allocates.  Consumers read them within the epoch (the recorder
+        # contract) -- the next epoch_counts call overwrites them.
+        self._countsf = np.empty(cfg.num_chunks)
+        self._writesf = np.empty(cfg.num_chunks)
+        # One-slot cache for the drifted popularity vector: the hotspot only
+        # rotates every drift_period epochs, so np.roll runs per shift, not
+        # per epoch.
+        self._probs_shift = 0
+        self._probs_cache = self._base_probs
 
     def probs(self, epoch: int) -> np.ndarray:
         """Chunk popularity vector for this epoch (hotspot drift applied)."""
         if self.drift_period and self.drift_step:
-            shift = (epoch // self.drift_period) * self.drift_step
-            if shift % self.cfg.num_chunks:
-                return np.roll(self._base_probs, shift)
+            shift = ((epoch // self.drift_period) * self.drift_step) % self.cfg.num_chunks
+            if shift:
+                if shift != self._probs_shift:
+                    self._probs_shift = shift
+                    self._probs_cache = np.roll(self._base_probs, shift)
+                return self._probs_cache
         return self._base_probs
 
     def epoch_volume(self, epoch: int) -> int:
@@ -53,8 +67,21 @@ class SyntheticTrace:
         return base
 
     def epoch_counts(self, epoch: int) -> tuple[np.ndarray, np.ndarray]:
-        """Return (access_counts, write_counts), both int64 arrays [num_chunks]."""
+        """Return (access_counts, write_counts) for one epoch.
+
+        Both are integer-valued **float64** arrays ``[num_chunks]``, written
+        into per-instance buffers reused across epochs: the engine's fused
+        kernel consumes float64 weights directly, so emitting float64 here
+        kills the per-epoch ``astype`` churn at the source.  Callers must
+        finish with an epoch's arrays before requesting the next epoch.
+
+        The underlying integer draws are unchanged from the historical
+        int64 path -- one multinomial over the popularity vector plus an
+        element-wise binomial split into writes.
+        """
         volume = self.epoch_volume(epoch)
         counts = self.rng.multinomial(volume, self.probs(epoch))
         writes = self.rng.binomial(counts, self.write_ratio)
-        return counts, writes
+        np.copyto(self._countsf, counts, casting="unsafe")
+        np.copyto(self._writesf, writes, casting="unsafe")
+        return self._countsf, self._writesf

@@ -53,6 +53,65 @@ def test_unknown_policy_rejected():
         main(["run", "--policy", "bogus"])
 
 
+def test_run_with_explicit_numpy_kernel(capsys):
+    assert (
+        main(
+            [
+                "run",
+                "--osds", "4",
+                "--epochs", "8",
+                "--requests", "128",
+                "--kernel", "numpy",
+            ]
+        )
+        == 0
+    )
+    assert json.loads(capsys.readouterr().out)["epochs"] == 8
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--kernel", "fortran"])
+
+
+def test_sweep_stream_flag(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--workloads", "deasna",
+                "--osds", "4",
+                "--policies", "baseline,cmt",
+                "--seeds", "1",
+                "--epochs", "8",
+                "--requests", "128",
+                "--cache-dir", str(tmp_path),
+                "--workers", "1",
+                "--stream",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    # The per-config table renders from the slim summaries.
+    assert "deasna-4osd-baseline" in out and "load_cov=" in out
+    assert "2 configs: 2 simulated" in out
+
+
+def test_sweep_stream_conflicts_with_no_cache(tmp_path):
+    assert (
+        main(
+            [
+                "sweep",
+                "--cache-dir", str(tmp_path),
+                "--stream",
+                "--no-cache",
+            ]
+        )
+        == 2
+    )
+
+
 def test_sweep_with_timeseries_flag(tmp_path, capsys):
     ts_dir = tmp_path / "ts"
     assert (

@@ -27,6 +27,7 @@ def fake_report(cold_rps=1_000_000.0, single_rps=30_000_000.0, quick=False) -> d
             "config": "deasna-20osd-cmt-s0.02-r12345",
             "epochs": 245,
             "telemetry": False,
+            "kernel": "numpy",
             "requests_simulated": 2_000_000,
             "seconds": 0.07,
             "requests_per_sec": single_rps,
@@ -122,9 +123,10 @@ def patched_bench(monkeypatch):
     """Capture run_bench calls and control the report it returns."""
     calls = {}
 
-    def fake_run_bench(out_path, cache_dir, workers, quick):
+    def fake_run_bench(out_path, cache_dir, workers, quick, kernel="auto"):
         calls["out_path"] = out_path
         calls["quick"] = quick
+        calls["kernel"] = kernel
         return fake_report(quick=quick)
 
     monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)

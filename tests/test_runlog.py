@@ -106,7 +106,7 @@ def test_sweep_emits_one_run_pair_per_simulated_config(tmp_path):
         assert rec["wall_s"] > 0
         assert rec["total_requests"] == TINY["epochs"] * TINY["requests_per_epoch"]
         assert rec["requests_per_sec"] > 0
-        assert "simulate.routing" in rec["timings"]
+        assert "simulate.kernel" in rec["timings"]
     # run ids pair starts with ends one-to-one.
     assert {r["run_id"] for r in starts} == {r["run_id"] for r in ends}
     # sweep_end carries the cache counters and parent-side stage spans.

@@ -8,7 +8,7 @@ import pytest
 from edm.cache import ResultCache
 from edm.config import SimConfig
 from edm.obs import ProgressLine
-from edm.sweep import SweepResult, default_grid, sweep
+from edm.sweep import SUMMARY_KEYS, SweepResult, default_grid, sweep
 
 TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
 
@@ -153,6 +153,93 @@ def test_sweep_progress_smoke(tmp_path, capsys):
     assert res.simulated == 2
     err = capsys.readouterr().err
     assert f"[{len(grid)}/{len(grid)}]" in err
+
+
+# ---------------------------------------------------------------------------
+# Streaming transport: workers spill to cache, parent holds slim summaries
+
+
+def test_stream_requires_cache(tmp_path):
+    with pytest.raises(ValueError, match="use_cache"):
+        sweep(tiny_grid()[:1], cache_dir=tmp_path, workers=1, use_cache=False, stream=True)
+
+
+def test_stream_summaries_match_eager_results(tmp_path):
+    grid = tiny_grid()
+    eager = sweep(grid, cache_dir=tmp_path / "a", workers=1)
+    streamed = sweep(grid, cache_dir=tmp_path / "b", workers=1, stream=True)
+    assert streamed.streamed and streamed.simulated == len(grid)
+    for cfg, slim, full in zip(grid, streamed.results, eager.results):
+        assert slim["streamed"] is True
+        assert slim["config"] == cfg.cache_name()
+        for key in SUMMARY_KEYS:
+            assert slim[key] == full[key]
+        assert "per_osd_wear" not in slim  # heavy payload never crosses the pool
+    # Lazy reloads return the full metrics, in input order, bit-equal to the
+    # eager run (both caches were populated by identical simulations).
+    assert list(streamed.iter_results()) == eager.results
+    assert streamed.total_requests == eager.total_requests
+
+
+def test_stream_warm_probe_summarizes_cache_hits(tmp_path):
+    grid = tiny_grid()
+    sweep(grid, cache_dir=tmp_path, workers=1)  # populate eagerly
+    warm = sweep(grid, cache_dir=tmp_path, workers=1, stream=True)
+    assert warm.cache_hits == len(grid) and warm.simulated == 0
+    assert all(r.get("streamed") for r in warm.results)
+
+
+def test_stream_interrupted_sweep_resumes_from_worker_spills(tmp_path):
+    # Workers store metrics themselves, so a poisoned config mid-pool loses
+    # nothing and the re-run is a pure warm probe.
+    good = tiny_grid()
+    grid = [*good, poisoned_config()]
+    with pytest.raises(ValueError, match="unknown workload 'poisoned'"):
+        sweep(grid, cache_dir=tmp_path, workers=2, stream=True)
+    probe = ResultCache(tmp_path)
+    assert all(probe.load(cfg) is not None for cfg in good)
+    resumed = sweep(good, cache_dir=tmp_path, workers=2, stream=True)
+    assert resumed.simulated == 0 and resumed.cache_hits == len(good)
+
+
+def test_stream_matches_eager_across_pool_boundary(tmp_path):
+    grid = tiny_grid()
+    pooled = sweep(grid, cache_dir=tmp_path / "a", workers=2, stream=True)
+    inline = sweep(grid, cache_dir=tmp_path / "b", workers=1)
+    assert list(pooled.iter_results()) == inline.results
+
+
+def test_stream_iter_results_raises_when_cache_evicted(tmp_path):
+    grid = tiny_grid()[:1]
+    res = sweep(grid, cache_dir=tmp_path, workers=1, stream=True)
+    for p in tmp_path.rglob("*"):
+        if p.is_file():
+            p.unlink()
+    with pytest.raises(RuntimeError, match="missing from"):
+        list(res.iter_results())
+
+
+def test_stream_smoke_large_grid_parent_holds_only_summaries(tmp_path):
+    # The 512-config memory-bound smoke: every parent-side record is a slim
+    # summary (a handful of scalars), so the parent's footprint scales with
+    # the grid count alone, never with per-config metrics size.
+    grid = default_grid(
+        workloads=("deasna",),
+        osds=(4,),
+        policies=("baseline",),
+        seeds=range(512),
+        epochs=2,
+        requests_per_epoch=64,
+        chunks_per_osd=4,
+    )
+    assert len(grid) == 512
+    res = sweep(grid, cache_dir=tmp_path, workers=1, stream=True)
+    assert res.simulated == 512
+    slim_keys = {"config", "config_hash", "streamed", *SUMMARY_KEYS}
+    assert all(set(r) == slim_keys for r in res.results)
+    # Spot-check one lazy reload round-trips to full metrics.
+    full = next(res.iter_results())
+    assert "per_osd_wear" in full and full["total_requests"] == 2 * 64
 
 
 def test_sweep_timings_attached_when_traced(tmp_path):

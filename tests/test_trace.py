@@ -121,13 +121,13 @@ def test_traced_simulate_metrics_identical_minus_timings(small_cfg):
     assert set(timings) == {
         "simulate.setup",
         "simulate.workload_gen",
-        "simulate.routing",
-        "simulate.heat_wear_update",
+        "simulate.kernel",
         "simulate.observers",
         "simulate.migration",
         "simulate.finalize",
     }
     assert timings["simulate.workload_gen"]["count"] == small_cfg.epochs
+    assert timings["simulate.kernel"]["count"] == small_cfg.epochs
     assert (
         timings["simulate.migration"]["count"]
         == small_cfg.epochs // small_cfg.migrate_interval
