@@ -8,9 +8,15 @@ Stable public API (everything in ``__all__``):
     SimConfig          -- one simulation configuration (workload x cluster x policy)
     simulate           -- run a configuration: ``simulate(cfg, recorders=())``
     sweep              -- run a grid with caching + parallelism (+ time-series export)
-    SweepResult        -- a completed sweep (``results`` is always complete)
+    SweepResult        -- a completed sweep; ``iter_results()`` is the documented
+                          way to read full metrics (works eager or streamed),
+                          ``records`` holds what the parent kept per config
     default_grid       -- the paper's 64-config evaluation grid
     EnduranceModel     -- per-OSD rated P/E budgets parsed from an ``--endurance`` spec
+    ServiceModel       -- per-OSD service rates + queue bound parsed from a
+                          ``--service`` spec (``rate:800;queue:64``)
+    SpecError          -- what every spec grammar (faults / endurance / service)
+                          raises on a malformed or invalid spec string
     Recorder           -- observer protocol for per-epoch engine hooks
     TimeSeriesRecorder -- per-epoch series capture with downsampling
     TimeSeries         -- captured series + .npz/JSON/CSV exporters
@@ -33,16 +39,20 @@ from edm.engine.kernels import available_kernels, resolve_kernel
 from edm.faults import FaultEvent, FaultPlan
 from edm.obs import RunLogWriter, Tracer, append_history, compare_reports, read_run_log
 from edm.policies import resolve_policy
+from edm.service import ServiceModel
+from edm.spec import SpecError
 from edm.sweep import SweepResult, default_grid, sweep
 from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "EnduranceModel",
     "FaultEvent",
     "FaultPlan",
+    "ServiceModel",
     "SimConfig",
+    "SpecError",
     "SweepResult",
     "Recorder",
     "RunLogWriter",

@@ -80,6 +80,17 @@ def _endurance_scenarios(spec: str) -> list[str]:
     return scenarios or [""]
 
 
+def _service_scenarios(spec: str) -> list[str]:
+    """Split a comma-separated ``--service`` value into model specs.
+
+    Service specs join their clauses with ``;`` (``rate:800;queue:64``), so
+    like ``--faults`` the grid-axis separator is ``,``; ``none`` (or an
+    empty entry) names the unserviced cluster.
+    """
+    scenarios = [("" if s == "none" else s) for s in _csv(spec)]
+    return scenarios or [""]
+
+
 def cmd_run(args) -> int:
     cfg = SimConfig(
         workload=args.workload,
@@ -88,6 +99,7 @@ def cmd_run(args) -> int:
         seed=args.seed,
         faults="" if args.faults == "none" else args.faults,
         endurance="" if args.endurance == "none" else args.endurance,
+        service="" if args.service == "none" else args.service,
         **_overrides(args),
     )
     metrics = simulate(cfg)
@@ -106,6 +118,7 @@ def cmd_sweep(args) -> int:
         seeds=[int(s) for s in _csv(args.seeds)],
         faults=_fault_scenarios(args.faults),
         endurance=_endurance_scenarios(args.endurance),
+        service=_service_scenarios(args.service),
         **_overrides(args),
     )
     result = sweep(
@@ -120,7 +133,7 @@ def cmd_sweep(args) -> int:
         progress=args.progress,
         stream=args.stream,
     )
-    for cfg, metrics in zip(grid, result.results):
+    for cfg, metrics in zip(grid, result.records):
         print(
             f"{cfg.cache_name():44s} load_cov={metrics['load_cov_mean']:.4f} "
             f"wear_spread={metrics['wear_spread']:.0f} "
@@ -220,6 +233,13 @@ def main(argv: list[str] | None = None) -> int:
         help="endurance model, e.g. 'pe:5000' or 'pe:3000@0-3,10000@4-7' "
         "('none' = unlimited rated lifetime)",
     )
+    run_p.add_argument(
+        "--service",
+        default="",
+        metavar="SPEC",
+        help="service model, e.g. 'rate:800;queue:64' or 'rate:800;rate:400@0-3' "
+        "('none' = no request-level timing)",
+    )
     _add_engine_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -280,6 +300,14 @@ def main(argv: list[str] | None = None) -> int:
         help="semicolon-separated endurance models as an extra grid axis "
         "(bands within a model join with ','; 'none' = unlimited), "
         "e.g. 'none;pe:5000;pe:3000@0-3,10000@4-7'",
+    )
+    sweep_p.add_argument(
+        "--service",
+        default="",
+        metavar="SPECS",
+        help="comma-separated service models as an extra grid axis "
+        "(clauses within a model join with ';'; 'none' = no request-level "
+        "timing), e.g. 'none,rate:800;queue:64'",
     )
     sweep_p.add_argument(
         "--quick",

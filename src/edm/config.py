@@ -19,7 +19,11 @@ from dataclasses import asdict, dataclass
 #    destination scoring normalized by cluster-wide scales.
 # 4: endurance model (``endurance`` field, rated-lifetime / wear-rate state,
 #    wear-out failures) and CMT's predicted-wear-out destination term.
-ENGINE_VERSION = 4
+# 5: request-level service model (``service`` field, queue/latency state,
+#    tail-latency metrics block).  Metrics-format change only: unserviced
+#    configs compute bit-identical values, re-keyed so old cache entries
+#    without the latency block are never returned.
+ENGINE_VERSION = 5
 
 # Version of the *seed material* fed to rng_seed_sequence.  Deliberately
 # decoupled from ENGINE_VERSION: bumping the cache format must not reseed
@@ -34,8 +38,19 @@ SEED_SCHEMA_VERSION = 2
 # backend) must be listed here, both because it must not perturb the frozen
 # hash and because none of them describe the *traffic* -- a degraded or
 # endurance-rated cluster replays exactly the healthy run's request stream,
-# and every kernel backend consumes the exact same streams.
-SEED_EXCLUDED_FIELDS = ("faults", "endurance", "wear_rate_alpha", "endurance_weight", "kernel")
+# and every kernel backend consumes the exact same streams.  The service
+# model and its knobs likewise only time the cluster's *response* to the
+# traffic, never the traffic itself.
+SEED_EXCLUDED_FIELDS = (
+    "faults",
+    "endurance",
+    "wear_rate_alpha",
+    "endurance_weight",
+    "kernel",
+    "service",
+    "service_migration_cost",
+    "service_cooldown_epochs",
+)
 
 # Fields excluded from the *result* content hash.  The kernel backend is an
 # execution strategy, not a semantic knob: numpy and numba produce
@@ -114,6 +129,18 @@ class SimConfig:
     wear_rate_alpha: float = 0.3
     endurance_weight: float = 1.0
 
+    # Service model: empty string = no request-level timing (requests stay
+    # pure units of load).  Parsed and canonicalized by edm.service.spec
+    # (e.g. "rate:800;queue:64" or "rate:800;rate:400@0-3"); enables per-OSD
+    # bounded queues and p50/p99/p999 latency metrics.  Like ``faults`` and
+    # ``endurance``, the spec never feeds the workload RNG.
+    service: str = ""
+    # Request-equivalents of service time one migrated chunk charges to each
+    # of its source and destination queues, and the window over which that
+    # pending work drains into the queues (1/cooldown per epoch).
+    service_migration_cost: float = 64.0
+    service_cooldown_epochs: int = 8
+
     # Epoch-kernel backend: "numpy" (default fused NumPy kernel), "numba"
     # (optional JIT, requires the [jit] extra), or "auto" (numba if
     # importable).  Backends are bit-identical, so this field keys neither
@@ -168,6 +195,19 @@ class SimConfig:
 
             model = EnduranceModel.parse(self.endurance, num_osds=self.num_osds)
             object.__setattr__(self, "endurance", model.spec)
+        if self.service_migration_cost < 0:
+            raise ValueError(
+                f"service_migration_cost must be >= 0, got {self.service_migration_cost}"
+            )
+        if self.service_cooldown_epochs < 1:
+            raise ValueError(
+                f"service_cooldown_epochs must be >= 1, got {self.service_cooldown_epochs}"
+            )
+        if self.service:
+            from edm.service import ServiceModel
+
+            svc = ServiceModel.parse(self.service, num_osds=self.num_osds)
+            object.__setattr__(self, "service", svc.spec)
 
     @property
     def num_chunks(self) -> int:
@@ -183,16 +223,19 @@ class SimConfig:
     def cache_name(self) -> str:
         """Filename stem matching the historical .repro-cache key format.
 
-        Fault scenarios append a short spec digest (``-f1a2b3c4``) and
-        endurance models another (``-e5d6e7f8``) so the same base config
-        under different scenarios never collides on filename; healthy,
-        unrated configs keep the historical stem byte-for-byte.
+        Fault scenarios append a short spec digest (``-f1a2b3c4``),
+        endurance models another (``-e5d6e7f8``), and service models a third
+        (``-q9a8b7c6``) so the same base config under different scenarios
+        never collides on filename; healthy, unrated, unserviced configs
+        keep the historical stem byte-for-byte.
         """
         stem = f"{self.workload}-{self.num_osds}osd-{self.policy}-s{self.skew:g}-r{self.seed}"
         if self.faults:
             stem += f"-f{hashlib.sha256(self.faults.encode()).hexdigest()[:8]}"
         if self.endurance:
             stem += f"-e{hashlib.sha256(self.endurance.encode()).hexdigest()[:8]}"
+        if self.service:
+            stem += f"-q{hashlib.sha256(self.service.encode()).hexdigest()[:8]}"
         return stem
 
 

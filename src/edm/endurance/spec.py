@@ -29,9 +29,10 @@ Parsing canonicalizes the spec -- default band first, ranged bands sorted by
 their first OSD, numbers normalized -- so two spellings of the same model
 produce the same ``SimConfig`` content hash and hit the same cache entry.
 
-This module is deliberately dependency-free apart from NumPy (no engine
-imports) so the config layer can parse and validate specs without import
-cycles.
+Band tokenization, range parsing, number rendering, and band-set validation
+come from the shared :mod:`edm.spec` toolkit (also behind the faults and
+service grammars); canonical output is byte-identical to the pre-toolkit
+parser, so hashes and cache keys are untouched.
 """
 
 from __future__ import annotations
@@ -41,7 +42,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-_BAND_RE = re.compile(r"^(\d+(?:\.\d+)?)(?:@(\d+)(?:-(\d+))?)?$")
+from edm.spec import (
+    ClauseRule,
+    SpecError,
+    SpecGrammar,
+    format_fixed,
+    render_range,
+    span_fragment,
+    validate_bands,
+)
 
 
 @dataclass(frozen=True)
@@ -58,29 +67,29 @@ class EnduranceBand:
 
     def render(self) -> str:
         """Canonical spec fragment for this band."""
-        # Fixed-point, never scientific: 'pe:1000000' must round-trip (the
-        # band grammar has no exponent form), so '%g' is not an option.
-        cycles = format(self.cycles, ".6f").rstrip("0").rstrip(".")
-        if self.lo is None:
-            return cycles
-        if self.lo == self.hi:
-            return f"{cycles}@{self.lo}"
-        return f"{cycles}@{self.lo}-{self.hi}"
+        return format_fixed(self.cycles) + render_range(self.lo, self.hi)
 
 
-def _parse_band(text: str) -> EnduranceBand:
-    m = _BAND_RE.match(text)
-    if not m:
-        raise ValueError(
-            f"bad endurance band {text!r}; expected 'CYCLES', 'CYCLES@OSD' "
-            f"or 'CYCLES@LO-HI'"
-        )
-    cycles = float(m.group(1))
-    if m.group(2) is None:
-        return EnduranceBand(cycles=cycles)
-    lo = int(m.group(2))
-    hi = int(m.group(3)) if m.group(3) is not None else lo
-    return EnduranceBand(cycles=cycles, lo=lo, hi=hi)
+def _build_band(m: re.Match) -> EnduranceBand:
+    span = span_fragment(m.group(2), m.group(3))
+    if span is None:
+        return EnduranceBand(cycles=float(m.group(1)))
+    return EnduranceBand(cycles=float(m.group(1)), lo=span[0], hi=span[1])
+
+
+_GRAMMAR = SpecGrammar(
+    name="endurance",
+    sep=",",
+    clause_noun="endurance band",
+    expected="'CYCLES', 'CYCLES@OSD' or 'CYCLES@LO-HI'",
+    rules=(
+        ClauseRule(
+            name="band",
+            regex=re.compile(r"^(\d+(?:\.\d+)?)(?:@(\d+)(?:-(\d+))?)?$"),
+            build=_build_band,
+        ),
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -113,13 +122,13 @@ class EnduranceModel:
         if not spec or spec == "none":
             return cls()
         if not spec.startswith("pe:"):
-            raise ValueError(
+            raise SpecError(
                 f"bad endurance spec {spec!r}; expected 'pe:CYCLES' or "
                 f"'pe:CYCLES@LO-HI,...' ('none' = unlimited endurance)"
             )
-        bands = [_parse_band(part.strip()) for part in spec[3:].split(",") if part.strip()]
+        bands = _GRAMMAR.parse(spec[3:])
         if not bands:
-            raise ValueError(f"bad endurance spec {spec!r}: no rating bands")
+            raise SpecError(f"bad endurance spec {spec!r}: no rating bands")
         # Canonical order: the default band first, ranged bands by first OSD.
         bands.sort(key=lambda b: (-1, -1) if b.lo is None else (b.lo, b.hi))
         model = cls(bands=tuple(bands))
@@ -127,43 +136,16 @@ class EnduranceModel:
         return model
 
     def validate(self, num_osds: int | None = None) -> None:
-        defaults = [b for b in self.bands if b.lo is None]
-        if len(defaults) > 1:
-            raise ValueError(
-                f"endurance spec {self.spec!r}: at most one default (range-free) "
-                f"band is allowed"
-            )
-        claimed: set[int] = set()
-        for band in self.bands:
-            if band.cycles <= 0:
-                raise ValueError(
-                    f"endurance band {band.render()!r}: rated cycles must be > 0"
-                )
-            if band.lo is None:
-                continue
-            if band.lo > band.hi:
-                raise ValueError(
-                    f"endurance band {band.render()!r}: range is inverted"
-                )
-            if num_osds is not None and band.hi >= num_osds:
-                raise ValueError(
-                    f"endurance band {band.render()!r}: OSD {band.hi} out of range "
-                    f"for a {num_osds}-OSD cluster"
-                )
-            overlap = claimed.intersection(range(band.lo, band.hi + 1))
-            if overlap:
-                raise ValueError(
-                    f"endurance band {band.render()!r}: OSD {min(overlap)} is "
-                    f"rated by more than one band"
-                )
-            claimed.update(range(band.lo, band.hi + 1))
-        if num_osds is not None and self.bands and not defaults:
-            uncovered = sorted(set(range(num_osds)) - claimed)
-            if uncovered:
-                raise ValueError(
-                    f"endurance spec {self.spec!r}: OSDs {uncovered} have no "
-                    f"rating; add a default band or cover the whole cluster"
-                )
+        validate_bands(
+            self.bands,
+            num_osds,
+            spec=self.spec,
+            spec_noun="endurance spec",
+            band_noun="endurance band",
+            value_noun="rated cycles",
+            render=lambda b: b.render(),
+            value=lambda b: b.cycles,
+        )
 
     def ratings(self, num_osds: int) -> np.ndarray:
         """Rated lifetime per OSD, in wear (erase-count) units.

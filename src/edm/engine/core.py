@@ -26,8 +26,17 @@ per-OSD wear-rate EWMA behind CMT's predicted-wear-out destination term.
 Unrated configs skip this path entirely and stay bit-identical to the
 endurance-unaware engine.
 
+With a service model configured (``cfg.service``), every OSD additionally
+carries a service rate and a bounded queue: after each kernel call the
+:class:`~edm.service.ServiceRuntime` steps the per-OSD queue recursion
+against the epoch's routed arrivals, migrations charge work into the queues
+(drained over a cooldown window), and the run's metrics gain a
+p50/p99/p999 latency block.  Unserviced configs skip this path entirely and
+stay bit-identical to the service-unaware engine.
+
 There is no per-request Python loop anywhere; a "request" only ever exists
-as a unit inside a counts vector.
+as a unit inside a counts vector (the service model's latency math is
+vectorized over each epoch's accepted-request batch the same way).
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from edm.engine.state import ClusterState, init_state
 from edm.faults import FaultPlan, FaultRuntime, effective_load
 from edm.obs.trace import NULL_TRACER, Tracer
 from edm.policies import MigrationPolicy, get_policy
+from edm.service import ServiceModel, ServiceRuntime
 from edm.telemetry.recorder import EpochStats, Recorder
 from edm.workloads import make_workload
 
@@ -71,6 +81,19 @@ def apply_migrations(state: ClusterState, moves: np.ndarray, cfg: SimConfig) -> 
     chunk, dst = chunk[ok], dst[ok]
     if chunk.size == 0:
         return 0
+    if cfg.service:
+        # Each move charges service work to both sides of the copy -- the
+        # source streams the chunk out, the destination writes it -- into
+        # the pending pool the ServiceRuntime drains over the cooldown
+        # window.  Dead sources are exempt: a re-placement burst reads from
+        # a corpse, which has no queue to occupy.  Must happen before the
+        # owner reassignment below, which is what loses the source ids.
+        src = state.chunk_owner[chunk].astype(np.int64)
+        work = np.bincount(dst, minlength=state.num_osds).astype(np.float64)
+        src_alive = src[state.osd_alive[src]]
+        if src_alive.size:
+            work += np.bincount(src_alive, minlength=state.num_osds)
+        state.osd_mig_backlog += work * cfg.service_migration_cost
     state.chunk_owner[chunk] = dst.astype(np.int32)
     # Migration rewrites the whole chunk on the destination SSD.  Bincount
     # the per-destination move counts and accrue wear in one vectorized add:
@@ -259,8 +282,12 @@ def simulate(
         endurance = EnduranceTracker(model, cfg) if model else None
         if endurance is not None:
             endurance.attach(state)
+        svc_model = ServiceModel.parse(cfg.service, num_osds=cfg.num_osds)
+        service = ServiceRuntime(svc_model, cfg) if svc_model else None
+        if service is not None:
+            service.attach(state)
         kernel = make_kernel(cfg)
-        acc = MetricsAccumulator()
+        acc = MetricsAccumulator(service=service)
         observers: tuple[Recorder, ...] = (acc, *recorders)
         for rec in observers:
             rec.on_run_start(cfg, state)
@@ -297,6 +324,15 @@ def simulate(
                 # migration wear applied since the last update) into the
                 # per-OSD wear-rate EWMA before observers and policies look.
                 endurance.update_rate(state)
+
+        if service is not None:
+            with tr.span("simulate.service"):
+                # Advance every OSD's queue by one epoch of service against
+                # this epoch's routed arrivals (the kernel's load vector is
+                # exactly the per-OSD request bincount) and fold accepted
+                # requests' latencies into the run histogram; fills the
+                # stats latency/queue fields observers read below.
+                service.step(state, load, stats)
 
         with tr.span("simulate.observers"):
             stats.epoch = epoch

@@ -9,6 +9,9 @@ Paper metrics:
   * endurance (rated configs only) -- min/mean/CoV of remaining rated
     lifetime over surviving OSDs, predicted and actual first-wear-out
     epochs, and wear-out event counts.
+  * service (serviced configs only) -- p50/p99/p999 request latency,
+    queue-depth aggregates, and migration-induced latency-spike stats,
+    accumulated by :class:`edm.service.ServiceRuntime` and merged here.
 
 ``MetricsAccumulator`` is the engine's always-on :class:`~edm.telemetry.Recorder`:
 it rides the same observer hooks as user-supplied telemetry, and its
@@ -32,8 +35,13 @@ _COV_BLOCK = 4096
 
 
 class MetricsAccumulator(Recorder):
-    def __init__(self):
+    def __init__(self, service=None):
+        # ``service`` is the run's ServiceRuntime (None when no service
+        # spec): its latency/queue aggregates join the final metrics dict,
+        # keyed on so unserviced dicts stay bit-identical to the
+        # service-unaware engine.
         self.cfg: SimConfig | None = None
+        self._service = service
 
     def on_run_start(self, cfg: SimConfig, state: ClusterState) -> None:
         self.cfg = cfg
@@ -203,4 +211,9 @@ class MetricsAccumulator(Recorder):
             out["first_wearout_epoch"] = int(self._first_wearout_epoch)
             out["wearout_replacements_total"] = int(self._wearout_replaced)
             out["osds_alive_final"] = int(alive.sum())
+        if self._service is not None:
+            # Service metrics (tail latency, queue depth, migration spikes),
+            # present only for serviced configs so unserviced metrics dicts
+            # stay bit-identical to the service-unaware engine.
+            out.update(self._service.metrics_block())
         return out

@@ -32,6 +32,11 @@ class ClusterState:
     # Endurance state (unlimited defaults filled in by __post_init__)
     osd_rated_life: np.ndarray = None  # float64 [N], rated P/E budget in wear units (inf = unrated)
     osd_wear_rate: np.ndarray = None   # float64 [N], EWMA of per-epoch wear increments
+    # Service state (idle defaults filled in by __post_init__; rate inf =
+    # no service model, any backlog retires instantly and queues never form)
+    osd_service_rate: np.ndarray = None  # float64 [N], requests/epoch at full capacity
+    osd_queue_depth: np.ndarray = None   # float64 [N], backlog carried across epochs
+    osd_mig_backlog: np.ndarray = None   # float64 [N], pending migration work (request-equivalents)
     degraded: bool = False           # True while any OSD is dead or off-nominal
     epoch: int = 0
     migrations_total: int = 0
@@ -45,6 +50,12 @@ class ClusterState:
             self.osd_rated_life = np.full(self.num_osds, np.inf)
         if self.osd_wear_rate is None:
             self.osd_wear_rate = np.zeros(self.num_osds)
+        if self.osd_service_rate is None:
+            self.osd_service_rate = np.full(self.num_osds, np.inf)
+        if self.osd_queue_depth is None:
+            self.osd_queue_depth = np.zeros(self.num_osds)
+        if self.osd_mig_backlog is None:
+            self.osd_mig_backlog = np.zeros(self.num_osds)
 
     def validate(self) -> None:
         """Cheap invariant check: every chunk owned by exactly one valid OSD."""
@@ -70,6 +81,16 @@ class ClusterState:
             raise AssertionError("osd_rated_life contains non-positive ratings")
         if (self.osd_wear_rate < 0).any():
             raise AssertionError("osd_wear_rate went negative (wear decreased?)")
+        if self.osd_queue_depth.shape != (self.num_osds,) or self.osd_mig_backlog.shape != (
+            self.num_osds,
+        ):
+            raise AssertionError("osd_queue_depth/osd_mig_backlog shape drifted")
+        if np.isnan(self.osd_queue_depth).any() or (self.osd_queue_depth < 0).any():
+            raise AssertionError("osd_queue_depth went negative or NaN")
+        if np.isnan(self.osd_mig_backlog).any() or (self.osd_mig_backlog < 0).any():
+            raise AssertionError("osd_mig_backlog went negative or NaN")
+        if (self.osd_service_rate <= 0).any():
+            raise AssertionError("osd_service_rate contains non-positive rates")
 
     def eligible_mask(self, cfg: SimConfig) -> np.ndarray:
         """Chunks past their migration cooldown window."""

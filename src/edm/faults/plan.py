@@ -29,14 +29,18 @@ canonicalizes the spec -- events sorted by (epoch, kind, osd), numbers
 normalized -- so two spellings of the same plan produce the same
 ``SimConfig`` content hash and hit the same cache entry.
 
-This module is deliberately dependency-free (no engine imports) so the
-config layer can parse and validate specs without import cycles.
+Clause tokenization, matching, and number rendering come from the shared
+:mod:`edm.spec` toolkit (also behind the endurance and service grammars);
+canonical output is byte-identical to the pre-toolkit parser, so hashes and
+cache keys are untouched.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+
+from edm.spec import ClauseRule, SpecError, SpecGrammar, format_g
 
 FAULT_KINDS = ("fail", "slow", "hiccup")
 
@@ -45,10 +49,6 @@ FAULT_KINDS = ("fail", "slow", "hiccup")
 # but is never part of a parseable spec -- wear-out timing is a consequence
 # of traffic, not a schedule.
 WEAROUT_KIND = "wearout"
-
-_FAIL_RE = re.compile(r"^fail:(\d+)@(\d+)$")
-_SLOW_RE = re.compile(r"^slow:(\d+)@(\d+)x(\d+(?:\.\d+)?)$")
-_HICCUP_RE = re.compile(r"^hiccup:(\d+)@(\d+)\+(\d+)x(\d+(?:\.\d+)?)$")
 
 
 @dataclass(frozen=True)
@@ -70,32 +70,48 @@ class FaultEvent:
         if self.kind in ("fail", WEAROUT_KIND):
             return f"{self.kind}:{self.osd}@{self.epoch}"
         if self.kind == "slow":
-            return f"slow:{self.osd}@{self.epoch}x{self.factor:g}"
-        return f"hiccup:{self.osd}@{self.epoch}+{self.duration}x{self.factor:g}"
+            return f"slow:{self.osd}@{self.epoch}x{format_g(self.factor)}"
+        return f"hiccup:{self.osd}@{self.epoch}+{self.duration}x{format_g(self.factor)}"
 
 
-def _parse_event(text: str) -> FaultEvent:
-    m = _FAIL_RE.match(text)
-    if m:
-        return FaultEvent(kind="fail", osd=int(m.group(1)), epoch=int(m.group(2)))
-    m = _SLOW_RE.match(text)
-    if m:
-        return FaultEvent(
-            kind="slow", osd=int(m.group(1)), epoch=int(m.group(2)), factor=float(m.group(3))
-        )
-    m = _HICCUP_RE.match(text)
-    if m:
-        return FaultEvent(
-            kind="hiccup",
-            osd=int(m.group(1)),
-            epoch=int(m.group(2)),
-            duration=int(m.group(3)),
-            factor=float(m.group(4)),
-        )
-    raise ValueError(
-        f"bad fault event {text!r}; expected 'fail:OSD@EPOCH', 'slow:OSD@EPOCHxFACTOR' "
-        f"or 'hiccup:OSD@EPOCH+DURATIONxFACTOR'"
-    )
+_GRAMMAR = SpecGrammar(
+    name="faults",
+    clause_noun="fault event",
+    expected=(
+        "'fail:OSD@EPOCH', 'slow:OSD@EPOCHxFACTOR' "
+        "or 'hiccup:OSD@EPOCH+DURATIONxFACTOR'"
+    ),
+    rules=(
+        ClauseRule(
+            name="fail",
+            regex=re.compile(r"^fail:(\d+)@(\d+)$"),
+            build=lambda m: FaultEvent(
+                kind="fail", osd=int(m.group(1)), epoch=int(m.group(2))
+            ),
+        ),
+        ClauseRule(
+            name="slow",
+            regex=re.compile(r"^slow:(\d+)@(\d+)x(\d+(?:\.\d+)?)$"),
+            build=lambda m: FaultEvent(
+                kind="slow",
+                osd=int(m.group(1)),
+                epoch=int(m.group(2)),
+                factor=float(m.group(3)),
+            ),
+        ),
+        ClauseRule(
+            name="hiccup",
+            regex=re.compile(r"^hiccup:(\d+)@(\d+)\+(\d+)x(\d+(?:\.\d+)?)$"),
+            build=lambda m: FaultEvent(
+                kind="hiccup",
+                osd=int(m.group(1)),
+                epoch=int(m.group(2)),
+                duration=int(m.group(3)),
+                factor=float(m.group(4)),
+            ),
+        ),
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -119,10 +135,7 @@ class FaultPlan:
     @classmethod
     def parse(cls, spec: str, num_osds: int | None = None) -> "FaultPlan":
         """Parse and validate a spec; ``num_osds`` enables OSD-range checks."""
-        spec = (spec or "").strip()
-        if not spec or spec == "none":
-            return cls()
-        events = [_parse_event(part.strip()) for part in spec.split(";") if part.strip()]
+        events = _GRAMMAR.parse(spec)
         events.sort(key=lambda ev: (ev.epoch, ev.kind, ev.osd))
         plan = cls(events=tuple(events))
         plan.validate(num_osds=num_osds)
@@ -132,21 +145,21 @@ class FaultPlan:
         failed: set[int] = set()
         for ev in self.events:
             if num_osds is not None and not 0 <= ev.osd < num_osds:
-                raise ValueError(
+                raise SpecError(
                     f"fault event {ev.render()!r}: OSD {ev.osd} out of range "
                     f"for a {num_osds}-OSD cluster"
                 )
             if ev.kind in ("slow", "hiccup") and ev.factor <= 0:
-                raise ValueError(
+                raise SpecError(
                     f"fault event {ev.render()!r}: capacity factor must be > 0"
                 )
             if ev.kind == "hiccup" and ev.duration < 1:
-                raise ValueError(f"fault event {ev.render()!r}: duration must be >= 1")
+                raise SpecError(f"fault event {ev.render()!r}: duration must be >= 1")
             if ev.kind == "fail":
                 if ev.osd in failed:
-                    raise ValueError(f"OSD {ev.osd} scheduled to fail more than once")
+                    raise SpecError(f"OSD {ev.osd} scheduled to fail more than once")
                 failed.add(ev.osd)
         if num_osds is not None and len(failed) >= num_osds:
-            raise ValueError(
+            raise SpecError(
                 f"plan kills all {num_osds} OSDs; at least one must survive"
             )

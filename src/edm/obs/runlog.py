@@ -24,7 +24,12 @@ tracer).  ``sweep_end`` adds ``wall_s``, the cache counters
 and the parent-side span summary.  ``fault`` records tag each fired
 fault-injection event with ``run_id``, ``config``, ``kind``
 (fail/slow/hiccup), ``osd``, ``epoch`` and ``replaced`` (chunks re-placed
-off a failed OSD).
+off a failed OSD).  ``service`` records (one per serviced run, before its
+``run_end``) carry the tail-latency numbers -- ``lat_p50`` / ``lat_p99`` /
+``lat_p999`` -- plus ``requests`` offered and ``dropped`` by bounded
+queues; non-finite percentiles (an empty histogram, an overflowing tail)
+serialize as JSON's ``NaN`` / ``Infinity`` literals, which
+:func:`read_run_log` parses back.
 
 Use :func:`read_run_log` to parse a file back and :func:`validate_record`
 to check any single record against the schema.
@@ -38,7 +43,7 @@ import time
 import uuid
 from pathlib import Path
 
-EVENTS = ("sweep_start", "sweep_end", "run_start", "run_end", "fault")
+EVENTS = ("sweep_start", "sweep_end", "run_start", "run_end", "fault", "service")
 
 #: Fields every record must carry.
 BASE_FIELDS = ("event", "ts", "sweep_id", "pid")
@@ -65,6 +70,7 @@ EVENT_FIELDS = {
         "timings",
     ),
     "fault": ("run_id", "config", "kind", "osd", "epoch", "replaced"),
+    "service": ("run_id", "config", "lat_p50", "lat_p99", "lat_p999", "requests", "dropped"),
 }
 
 

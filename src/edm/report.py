@@ -4,12 +4,16 @@ Reads every metrics pickle in a ``.repro-cache``-style directory, drops stale
 entries (engine-version or config drift, judged by recomputing the content
 hash from the stored config), and aggregates policy x workload cells --
 load CoV, wear spread, wear CoV, migration cost -- averaged across cluster
-sizes and seeds.  Renders markdown (for docs/PRs) or JSON (for tooling).
+sizes and seeds.  Serviced runs add tail-latency columns (p50/p99/p999 and
+the migration-spike ratio), shown only when a service scenario is present so
+plain reports keep their historical shape.  Renders markdown (for docs/PRs)
+or JSON (for tooling).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
@@ -23,6 +27,15 @@ TABLE_COLUMNS = (
     ("wear_spread", "wear spread", ".0f"),
     ("wear_cov", "wear CoV", ".4f"),
     ("migration_cost_mb", "migration MB", ".0f"),
+)
+
+# Tail-latency columns, present only on serviced runs; unserviced rows in a
+# mixed report render them as "-".
+SERVICE_COLUMNS = (
+    ("service_lat_p50", "lat p50", ".3g"),
+    ("service_lat_p99", "lat p99", ".3g"),
+    ("service_lat_p999", "lat p999", ".3g"),
+    ("migration_spike_ratio", "mig spike", ".3g"),
 )
 
 
@@ -56,43 +69,63 @@ def load_cached_metrics(cache_dir: str | Path) -> LoadedResults:
 
 
 def aggregate(metrics_rows: list[dict]) -> list[dict]:
-    """Mean per (workload, policy, faults, endurance) cell, sorted.
+    """Mean per (workload, policy, faults, endurance, service) cell, sorted.
 
-    Healthy, unrated runs carry neither a ``faults`` nor an ``endurance``
-    key and land in the ``("", "")`` scenario, so a plain cache aggregates
-    exactly as before; fault scenarios and endurance models become separate
-    rows comparable side by side with their baseline.
+    Healthy, unrated, unserviced runs carry none of the ``faults`` /
+    ``endurance`` / ``service`` keys and land in the ``("", "", "")``
+    scenario, so a plain cache aggregates exactly as before; fault
+    scenarios, endurance models and service models become separate rows
+    comparable side by side with their baseline.  Service columns are
+    averaged only where present (and only over finite values -- an empty
+    histogram's NaN percentile would otherwise poison the cell mean).
     """
-    groups: dict[tuple[str, str, str, str], list[dict]] = {}
+    groups: dict[tuple[str, str, str, str, str], list[dict]] = {}
     for m in metrics_rows:
-        key = (m["workload"], m["policy"], m.get("faults", ""), m.get("endurance", ""))
+        key = (
+            m["workload"],
+            m["policy"],
+            m.get("faults", ""),
+            m.get("endurance", ""),
+            m.get("service", ""),
+        )
         groups.setdefault(key, []).append(m)
     out = []
-    for (workload, policy, faults, endurance), rows in sorted(groups.items()):
+    for (workload, policy, faults, endurance, service), rows in sorted(groups.items()):
         cell = {
             "workload": workload,
             "policy": policy,
             "faults": faults,
             "endurance": endurance,
+            "service": service,
             "runs": len(rows),
         }
         for key, _header, _fmt in TABLE_COLUMNS:
             cell[key] = sum(r[key] for r in rows) / len(rows)
+        if service:
+            for key, _header, _fmt in SERVICE_COLUMNS:
+                vals = [r[key] for r in rows if key in r and math.isfinite(r[key])]
+                cell[key] = sum(vals) / len(vals) if vals else math.nan
         out.append(cell)
     return out
 
 
 def render_markdown(cells: list[dict]) -> str:
-    # The faults / endurance columns only appear once such a scenario is
-    # present, so plain healthy-cluster reports keep their historical shape.
+    # The faults / endurance / service columns only appear once such a
+    # scenario is present, so plain healthy-cluster reports keep their
+    # historical shape.
     show_faults = any(c.get("faults") for c in cells)
     show_endurance = any(c.get("endurance") for c in cells)
+    show_service = any(c.get("service") for c in cells)
     headers = ["workload", "policy"]
     if show_faults:
         headers.append("faults")
     if show_endurance:
         headers.append("endurance")
+    if show_service:
+        headers.append("service")
     headers += ["runs"] + [h for _k, h, _f in TABLE_COLUMNS]
+    if show_service:
+        headers += [h for _k, h, _f in SERVICE_COLUMNS]
     lines = [
         "| " + " | ".join(headers) + " |",
         "|" + "|".join("---" for _ in headers) + "|",
@@ -103,8 +136,15 @@ def render_markdown(cells: list[dict]) -> str:
             values.append(c.get("faults") or "healthy")
         if show_endurance:
             values.append(c.get("endurance") or "unrated")
+        if show_service:
+            values.append(c.get("service") or "untimed")
         values.append(str(c["runs"]))
         values += [format(c[key], fmt) for key, _h, fmt in TABLE_COLUMNS]
+        if show_service:
+            for key, _h, fmt in SERVICE_COLUMNS:
+                v = c.get(key)
+                has = v is not None and not (isinstance(v, float) and math.isnan(v))
+                values.append(format(v, fmt) if has else "-")
         lines.append("| " + " | ".join(values) + " |")
     return "\n".join(lines)
 

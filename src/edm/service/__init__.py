@@ -1,0 +1,26 @@
+"""Request-level service model: per-OSD rates, bounded queues, tail latency.
+
+``ServiceModel`` parses the compact ``service`` spec
+(``rate:800;rate:400@0-3;queue:64``); ``ServiceRuntime`` steps the
+vectorized per-epoch queue recursion inside ``simulate`` and accumulates
+the p50/p99/p999 latency histogram and migration-spike statistics.
+"""
+
+from edm.service.runtime import (
+    LATENCY_EDGES,
+    ServiceRuntime,
+    epoch_service_reference,
+    epoch_service_vectorized,
+    histogram_percentile,
+)
+from edm.service.spec import ServiceBand, ServiceModel
+
+__all__ = [
+    "LATENCY_EDGES",
+    "ServiceBand",
+    "ServiceModel",
+    "ServiceRuntime",
+    "epoch_service_reference",
+    "epoch_service_vectorized",
+    "histogram_percentile",
+]

@@ -1,0 +1,283 @@
+"""Request-level service runtime: bounded queues, latency, migration spikes.
+
+The engine is epoch-aggregate everywhere else: a request is a unit of load,
+never a unit of time.  :class:`ServiceRuntime` gives each OSD a service rate
+(requests retired per epoch, scaled by live capacity) and a bounded FIFO
+queue, then steps an M/D/1-style Lindley recursion over the OSD axis once
+per epoch:
+
+    backlog' = max(backlog + injected_migration_work + accepted - rate, 0)
+
+A request accepted as the ``i``-th arrival of its epoch sees sojourn time
+``(backlog + injected + i + 1) / rate`` epochs -- deterministic FIFO service,
+no per-request randomness.  Latencies accumulate into a fixed log-spaced
+histogram, so p50/p99/p999 come from bin edges and are bit-stable across
+runs and backends.
+
+Migrations and fault re-placement bursts charge
+``cfg.service_migration_cost`` request-equivalents per moved chunk into a
+per-OSD pending pool (source and destination both pay -- a migration reads
+one replica and writes another); the pool drains into the queues at
+``1/cfg.service_cooldown_epochs`` per epoch, flushing outright once it falls
+below one request.  That drain is what turns "migrate vs. tolerate
+imbalance" into a visible latency tradeoff: epochs with in-flight migration
+work report their own latency aggregate, and ``migration_spike_ratio``
+compares it against clean epochs.
+
+Everything is vectorized over OSDs and over the epoch's accepted requests
+(``np.repeat`` + ``arange``, no per-request Python loop).  The scalar
+reference implementation :func:`epoch_service_reference` reproduces the
+vectorized :func:`epoch_service_vectorized` **bit-identically** -- same
+IEEE-754 operations in the same order, pinned by tests/test_service.py --
+so the fast path is provably the brute-force model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from edm.service.spec import ServiceModel
+
+__all__ = [
+    "LATENCY_EDGES",
+    "ServiceRuntime",
+    "epoch_service_reference",
+    "epoch_service_vectorized",
+    "histogram_percentile",
+]
+
+# Fixed log-spaced latency bin edges (in epochs of service time): bin 0 is
+# [0, 1e-4), then 256 log-spaced bins up to 1e4.  The last bin is the
+# overflow bin -- anything slower than 1e4 epochs (including inf, a request
+# accepted by a zero-rate OSD) lands there and percentiles report it as inf.
+LATENCY_EDGES = np.concatenate(([0.0], np.logspace(-4.0, 4.0, 257)))
+_NUM_BINS = LATENCY_EDGES.size - 1
+
+
+def histogram_percentile(hist: np.ndarray, q: float) -> float:
+    """Percentile from a latency histogram: lower edge of the covering bin.
+
+    Returns NaN for an empty histogram (a run that never accepted a request
+    -- e.g. zero-request epochs throughout, or an all-dead cluster) and inf
+    when the percentile falls in the overflow bin.  Both guards are explicit
+    Python branches, so no RuntimeWarning escapes under ``-W error``.
+    """
+    total = int(hist.sum())
+    if total == 0:
+        return float("nan")
+    target = q * total
+    idx = int(np.searchsorted(np.cumsum(hist), target, side="left"))
+    if idx >= _NUM_BINS - 1:
+        return float("inf")
+    return float(LATENCY_EDGES[idx])
+
+
+def epoch_service_vectorized(
+    arrivals: np.ndarray, base: np.ndarray, rate: np.ndarray, qbound: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One epoch of queue admission + FIFO latency, vectorized over OSDs.
+
+    ``arrivals`` are integer-valued per-OSD request counts, ``base`` the
+    backlog each queue starts the epoch with (carried depth + injected
+    migration work), ``rate`` the effective service rate (0 for dead OSDs).
+    Returns ``(accepted, latencies, new_depth)``: per-OSD accepted counts,
+    the flat float64 latency array of every accepted request (epoch order:
+    OSD 0's requests first), and the post-service queue depths.
+    """
+    # Admission: a queue has room for its bound plus one epoch of service
+    # beyond the standing backlog; dead OSDs (rate 0) admit nothing.
+    room = np.where(rate > 0, qbound + rate - base, 0.0)
+    accepted = np.minimum(
+        arrivals.astype(np.float64), np.maximum(np.floor(room), 0.0)
+    ).astype(np.int64)
+    total = int(accepted.sum())
+    if total:
+        # FIFO sojourn of the i-th accepted request on OSD j:
+        # (base[j] + i + 1) / rate[j], built with repeat/arange -- no
+        # per-request Python loop.
+        starts = np.cumsum(accepted) - accepted
+        offs = np.repeat(base, accepted)
+        srep = np.repeat(rate, accepted)
+        idx = np.arange(total, dtype=np.int64) - np.repeat(starts, accepted)
+        work = offs + (idx + 1.0)
+        lat = np.divide(
+            work, srep, out=np.full(total, np.inf), where=srep > 0
+        )
+    else:
+        lat = np.empty(0, dtype=np.float64)
+    new_depth = np.maximum(base + accepted - rate, 0.0)
+    return accepted, lat, new_depth
+
+
+def epoch_service_reference(
+    arrivals: np.ndarray, base: np.ndarray, rate: np.ndarray, qbound: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Brute-force scalar reference for :func:`epoch_service_vectorized`.
+
+    Per-OSD, per-request Python loops performing the same IEEE-754
+    operations in the same order as the vectorized path, so the two are
+    bit-identical -- the cross-check tests/test_service.py pins.  Never used
+    on the hot path.
+    """
+    n = arrivals.size
+    accepted = np.zeros(n, dtype=np.int64)
+    new_depth = np.zeros(n, dtype=np.float64)
+    lats: list[float] = []
+    for j in range(n):
+        room_j = qbound + rate[j] - base[j] if rate[j] > 0 else 0.0
+        cap = max(np.floor(room_j), 0.0)
+        want = float(arrivals[j])
+        accepted[j] = np.int64(min(want, cap))
+        for i in range(int(accepted[j])):
+            work = base[j] + (i + 1.0)
+            lats.append(work / rate[j] if rate[j] > 0 else np.inf)
+        new_depth[j] = max(base[j] + accepted[j] - rate[j], 0.0)
+    return accepted, np.array(lats, dtype=np.float64), new_depth
+
+
+class ServiceRuntime:
+    """Per-run queue state-stepper and latency accumulator.
+
+    Owns the latency histogram and the run-level service aggregates; the
+    per-OSD queue arrays (``osd_queue_depth``, ``osd_service_rate``,
+    ``osd_mig_backlog``) live on :class:`~edm.engine.state.ClusterState` so
+    recorders and policies can observe them like any other state.
+    """
+
+    def __init__(self, model: ServiceModel, cfg) -> None:
+        self.model = model
+        self.qbound = model.queue_bound
+        self._drain = 1.0 / float(cfg.service_cooldown_epochs)
+        self._rates = model.rates(cfg.num_osds)
+        # Run-level accumulators.
+        self.hist = np.zeros(_NUM_BINS, dtype=np.int64)
+        self.lat_sum = 0.0
+        self.lat_count = 0
+        self.stalled_total = 0
+        self.requests_total = 0
+        self.dropped_total = 0
+        self.lost_work = 0.0
+        self.spike_lat_max = float("nan")
+        self._mig_lat_sum = 0.0
+        self._mig_lat_count = 0
+        self._clean_lat_sum = 0.0
+        self._clean_lat_count = 0
+        self._depth_mean_sum = 0.0
+        self._depth_cov_sum = 0.0
+        self._depth_max = 0.0
+        self._epochs = 0
+
+    def attach(self, state) -> None:
+        """Install the model's rates on the cluster state."""
+        state.osd_service_rate = self._rates.astype(np.float64).copy()
+
+    def step(self, state, arrivals: np.ndarray, stats=None) -> None:
+        """Advance every queue by one epoch and accumulate latency stats.
+
+        ``arrivals`` is the per-OSD request-count vector the kernel routed
+        this epoch (integer-valued float64).  Fills ``stats`` (an
+        :class:`~edm.telemetry.recorder.EpochStats`) with this epoch's
+        latency mean and queue-depth aggregates when provided.
+        """
+        depth = state.osd_queue_depth
+        pending = state.osd_mig_backlog
+        alive = state.osd_alive
+        dead = ~alive
+        if dead.any():
+            # A dead OSD's backlog is lost, not served: account and zero it
+            # so corpse queues never leak into depth statistics.
+            self.lost_work += float(depth[dead].sum() + pending[dead].sum())
+            depth[dead] = 0.0
+            pending[dead] = 0.0
+        # Drain pending migration work into the queues: a cooldown-sized
+        # fraction per epoch, flushed outright once below one request.
+        inject = np.where(pending < 1.0, pending, pending * self._drain)
+        pending -= inject
+        mig_epoch = bool(inject.sum() > 0.0)
+
+        base = depth + inject
+        rate = state.osd_service_rate * state.osd_capacity * alive
+        accepted, lat, new_depth = epoch_service(arrivals, base, rate, self.qbound)
+        np.copyto(depth, new_depth)
+
+        offered = int(arrivals.sum())
+        self.requests_total += offered
+        self.dropped_total += offered - int(accepted.sum())
+        finite = np.isfinite(lat)
+        n_finite = int(finite.sum())
+        self.stalled_total += lat.size - n_finite
+        lat_mean = 0.0
+        if lat.size:
+            bins = np.clip(
+                np.searchsorted(LATENCY_EDGES, lat, side="right") - 1,
+                0,
+                _NUM_BINS - 1,
+            )
+            self.hist += np.bincount(bins, minlength=_NUM_BINS)
+        if n_finite:
+            fin_sum = float(lat[finite].sum())
+            self.lat_sum += fin_sum
+            self.lat_count += n_finite
+            lat_mean = fin_sum / n_finite
+            if mig_epoch:
+                self._mig_lat_sum += fin_sum
+                self._mig_lat_count += n_finite
+                epoch_max = float(lat[finite].max())
+                if not self.spike_lat_max >= epoch_max:
+                    self.spike_lat_max = epoch_max
+            else:
+                self._clean_lat_sum += fin_sum
+                self._clean_lat_count += n_finite
+
+        # Queue-depth aggregates (all OSDs; dead queues were zeroed above).
+        d_mean = float(depth.mean())
+        d_cov = float(depth.std() / d_mean) if d_mean > 0 else 0.0
+        self._depth_mean_sum += d_mean
+        self._depth_cov_sum += d_cov
+        self._depth_max = max(self._depth_max, float(depth.max()))
+        self._epochs += 1
+        if stats is not None:
+            stats.lat_mean = lat_mean
+            stats.queue_depth_mean = d_mean
+            stats.queue_depth_cov = d_cov
+
+    def metrics_block(self) -> dict:
+        """Run-level service metrics, merged into ``simulate``'s dict."""
+        lat_mean = self.lat_sum / self.lat_count if self.lat_count else float("nan")
+        mig_mean = (
+            self._mig_lat_sum / self._mig_lat_count
+            if self._mig_lat_count
+            else float("nan")
+        )
+        clean_mean = (
+            self._clean_lat_sum / self._clean_lat_count
+            if self._clean_lat_count
+            else float("nan")
+        )
+        if self._mig_lat_count and self._clean_lat_count and clean_mean > 0:
+            spike_ratio = mig_mean / clean_mean
+        else:
+            spike_ratio = float("nan")
+        epochs = self._epochs
+        return {
+            "service": self.model.spec,
+            "service_lat_p50": histogram_percentile(self.hist, 0.50),
+            "service_lat_p99": histogram_percentile(self.hist, 0.99),
+            "service_lat_p999": histogram_percentile(self.hist, 0.999),
+            "service_lat_mean": lat_mean,
+            "service_requests_total": self.requests_total,
+            "service_dropped_total": self.dropped_total,
+            "service_stalled_total": self.stalled_total,
+            "service_lost_work": self.lost_work,
+            "migration_spike_ratio": spike_ratio,
+            "migration_spike_lat_max": self.spike_lat_max,
+            "queue_depth_mean": self._depth_mean_sum / epochs if epochs else 0.0,
+            "queue_depth_max": self._depth_max,
+            "queue_depth_cov_mean": self._depth_cov_sum / epochs if epochs else 0.0,
+        }
+
+
+# Module-level alias resolved at call time, so tests can monkeypatch the
+# epoch implementation (e.g. swap in epoch_service_reference) and drive a
+# whole simulate() run through the scalar path.
+epoch_service = epoch_service_vectorized

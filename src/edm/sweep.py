@@ -84,22 +84,26 @@ def default_grid(
     skew: float = 0.02,
     faults=("",),
     endurance=("",),
+    service=("",),
     **overrides,
 ) -> list[SimConfig]:
     """The paper's evaluation grid: 4 workloads x {16,20} OSDs x 4 policies x 2 seeds.
 
-    ``faults`` and ``endurance`` are extra grid axes of fault-scenario and
-    endurance-model specs (see :mod:`edm.faults.plan` /
-    :mod:`edm.endurance.spec`); the default single empty spec on each is
-    the healthy, unrated cluster and leaves the grid exactly as the paper
-    evaluates it.
+    ``faults``, ``endurance``, and ``service`` are extra grid axes of
+    fault-scenario, endurance-model, and service-model specs (see
+    :mod:`edm.faults.plan` / :mod:`edm.endurance.spec` /
+    :mod:`edm.service.spec`); the default single empty spec on each is the
+    healthy, unrated, unserviced cluster and leaves the grid exactly as the
+    paper evaluates it.
     """
     return [
         SimConfig(
             workload=w, num_osds=n, policy=p, seed=s, skew=skew,
-            faults=f, endurance=e, **overrides,
+            faults=f, endurance=e, service=v, **overrides,
         )
-        for w, n, p, s, f, e in product(workloads, osds, policies, seeds, faults, endurance)
+        for w, n, p, s, f, e, v in product(
+            workloads, osds, policies, seeds, faults, endurance, service
+        )
     ]
 
 
@@ -184,6 +188,20 @@ def _run_config(task: _Task) -> dict:
         ts_recorder.series.save_npz(series_path(task.ts_dir, cfg))
 
     if writer is not None:
+        if cfg.service:
+            # One service record per serviced run: the tail-latency numbers
+            # an operator would alert on, queryable without re-loading the
+            # metrics pickle.
+            writer.emit(
+                "service",
+                run_id=run_id,
+                config=cfg.cache_name(),
+                lat_p50=float(metrics["service_lat_p50"]),
+                lat_p99=float(metrics["service_lat_p99"]),
+                lat_p999=float(metrics["service_lat_p999"]),
+                requests=int(metrics["service_requests_total"]),
+                dropped=int(metrics["service_dropped_total"]),
+            )
         timings = metrics.pop("timings", {})
         writer.emit(
             "run_end",
@@ -208,14 +226,18 @@ def _run_config(task: _Task) -> dict:
 class SweepResult:
     """Completed sweep: one record per input config, in input order.
 
-    In a normal sweep each record is the config's full metrics dict.  In a
-    streaming sweep (``stream=True``) each record is a slim summary
-    (:data:`SUMMARY_KEYS` plus identity fields) and the full metrics live
-    only in the result cache -- use :meth:`iter_results` to re-load them
-    lazily, one config at a time.
+    :meth:`iter_results` is the one access path that always yields *full*
+    metrics dicts, streamed or not -- new code should use it exclusively.
+    ``records`` holds what actually crossed the pool: full metrics dicts in
+    a normal sweep, slim summaries (:data:`SUMMARY_KEYS` plus identity
+    fields) in a streaming sweep, where the full metrics live only in the
+    result cache.  The legacy ``.results`` property still returns the full
+    dicts for in-memory sweeps but *raises* on a streamed one -- silently
+    handing summaries to code expecting full metrics caused exactly the
+    kind of KeyError-at-a-distance this API exists to prevent.
     """
 
-    results: list[dict]
+    records: list[dict]
     cache_hits: int
     cache_misses: int
     cache_invalidated: int
@@ -226,16 +248,32 @@ class SweepResult:
     cache_dir: str | None = None  # where streamed full metrics live
 
     def __post_init__(self) -> None:
-        bad = [i for i, r in enumerate(self.results) if not isinstance(r, dict)]
+        bad = [i for i, r in enumerate(self.records) if not isinstance(r, dict)]
         if bad:
             raise TypeError(
-                f"SweepResult.results must be complete metrics dicts; "
+                f"SweepResult.records must be complete metrics dicts; "
                 f"non-dict entries at indices {bad[:8]}"
             )
 
     @property
+    def results(self) -> list[dict]:
+        """Full metrics dicts of an in-memory sweep (legacy accessor).
+
+        Raises on a streamed sweep, whose records are slim summaries --
+        use :meth:`iter_results`, which yields full metrics either way.
+        """
+        if self.streamed:
+            raise RuntimeError(
+                "SweepResult.results is unavailable on a streamed sweep: "
+                "records hold slim summaries, not full metrics.  Use "
+                "iter_results() to lazily load full metrics from the cache "
+                "(or read .records for the summaries themselves)."
+            )
+        return self.records
+
+    @property
     def total_requests(self) -> int:
-        return sum(r["total_requests"] for r in self.results)
+        return sum(r["total_requests"] for r in self.records)
 
     def iter_results(self):
         """Yield one *full* metrics dict per input config, in input order.
@@ -246,7 +284,7 @@ class SweepResult:
         memory bounded to a single config's metrics.
         """
         if not self.streamed:
-            yield from self.results
+            yield from self.records
             return
         cache = ResultCache(self.cache_dir)
         for cfg in self.configs:
@@ -377,7 +415,7 @@ def sweep(
             raise first_error
 
     result = SweepResult(
-        results=slots,  # type: ignore[arg-type]  # __post_init__ proves completeness
+        records=slots,  # type: ignore[arg-type]  # __post_init__ proves completeness
         cache_hits=cache.hits if cache else 0,
         cache_misses=cache.misses if cache else len(pending),
         cache_invalidated=cache.invalidated if cache else 0,

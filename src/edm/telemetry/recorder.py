@@ -46,6 +46,11 @@ class EpochStats:
     epoch: int = 0
     requests: int = 0  # total requests routed this epoch
     writes: int = 0    # write requests among them
+    # Service-model scalars, filled by ServiceRuntime.step when a service
+    # spec is configured; all 0.0 otherwise (requests have no duration).
+    lat_mean: float = 0.0          # mean finite latency of this epoch's accepted requests
+    queue_depth_mean: float = 0.0  # mean per-OSD queue depth after service
+    queue_depth_cov: float = 0.0   # CoV of queue depth across OSDs
 
 
 class Recorder:

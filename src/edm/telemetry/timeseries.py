@@ -2,9 +2,10 @@
 
 ``TimeSeriesRecorder`` accumulates the paper's longitudinal evaluation
 curves -- per-OSD load, load CoV, peak ratio, cumulative per-OSD wear, wear
-CoV, migrations per interval, and the alive-masked remaining rated lifetime
-(min/mean; ``+inf`` without an endurance model) -- into preallocated NumPy
-buffers, sampling
+CoV, migrations per interval, the alive-masked remaining rated lifetime
+(min/mean; ``+inf`` without an endurance model), and the per-epoch service
+scalars (queue depth mean/CoV, mean latency; all 0.0 without a service
+model) -- into preallocated NumPy buffers, sampling
 every ``record_every`` epochs.  ``finalize`` always captures the end-of-run
 state (after the last migration round), so the final row matches the scalar
 metrics dict exactly and ``migrations.sum()`` equals ``migrations_total``.
@@ -37,7 +38,9 @@ if TYPE_CHECKING:
 #    (failure re-placement moves since the previous sample).
 # 3: added the lifetime columns ``remaining_life_min`` / ``remaining_life_mean``
 #    (alive-masked remaining rated life; ``+inf`` without an endurance model).
-SERIES_FORMAT_VERSION = 3
+# 4: added the service columns ``queue_depth_mean`` / ``queue_depth_cov`` /
+#    ``service_lat_mean`` (all 0.0 without a service model).
+SERIES_FORMAT_VERSION = 4
 
 _ARRAY_FIELDS = (
     "epoch",
@@ -51,16 +54,27 @@ _ARRAY_FIELDS = (
     "replacements",
     "remaining_life_min",
     "remaining_life_mean",
+    "queue_depth_mean",
+    "queue_depth_cov",
+    "service_lat_mean",
 )
 
-# Fields a v3 reader tolerates missing from older files, with the fill value
-# a pre-endurance run would have recorded.  A v2 ``.npz`` (no lifetime
-# columns -- by definition written by an engine without an endurance model)
-# therefore loads and round-trips instead of raising.
+# Fields the current reader tolerates missing from older files, with the
+# fill value an engine of that vintage would have recorded.  A v2 ``.npz``
+# (no lifetime columns -- by definition written by an engine without an
+# endurance model) or a v3 one (no service columns -- written by an engine
+# whose requests had no duration) therefore loads and round-trips instead
+# of raising.
 _V2_COMPAT_FILLS = {
     "remaining_life_min": np.inf,
     "remaining_life_mean": np.inf,
 }
+_V3_COMPAT_FILLS = {
+    "queue_depth_mean": 0.0,
+    "queue_depth_cov": 0.0,
+    "service_lat_mean": 0.0,
+}
+_COMPAT_FILLS = {**_V2_COMPAT_FILLS, **_V3_COMPAT_FILLS}
 
 
 @dataclass(frozen=True)
@@ -84,6 +98,9 @@ class TimeSeries:
     replacements: np.ndarray     # int64 [T], failure re-placements since previous sample
     remaining_life_min: np.ndarray   # float64 [T], min remaining rated life over alive OSDs
     remaining_life_mean: np.ndarray  # float64 [T], mean remaining rated life over alive OSDs
+    queue_depth_mean: np.ndarray     # float64 [T], mean per-OSD queue depth (0 without service)
+    queue_depth_cov: np.ndarray      # float64 [T], CoV of queue depth across OSDs
+    service_lat_mean: np.ndarray     # float64 [T], mean finite request latency per epoch
 
     @property
     def num_samples(self) -> int:
@@ -116,18 +133,20 @@ class TimeSeries:
 
     @classmethod
     def load_npz(cls, path: str | os.PathLike) -> "TimeSeries":
-        """Load a ``.npz`` series; v2 files (no lifetime columns) still load.
+        """Load a ``.npz`` series; v2/v3 files (older column sets) still load.
 
         Missing v3 lifetime columns are backfilled with the values a
-        pre-endurance engine would have recorded (``+inf`` remaining life),
-        so a v2 file round-trips through load -> save -> load.  Files
-        missing any *core* column are still rejected.
+        pre-endurance engine would have recorded (``+inf`` remaining life)
+        and missing v4 service columns with a pre-service engine's (0.0 --
+        requests had no duration), so an older file round-trips through
+        load -> save -> load.  Files missing any *core* column are still
+        rejected.
         """
         with np.load(path, allow_pickle=False) as npz:
             meta = json.loads(str(npz["meta"][()]))
             missing = [
                 k for k in _ARRAY_FIELDS
-                if k not in npz.files and k not in _V2_COMPAT_FILLS
+                if k not in npz.files and k not in _COMPAT_FILLS
             ]
             if missing:
                 raise ValueError(
@@ -138,7 +157,7 @@ class TimeSeries:
                 )
             arrays = {k: npz[k] for k in _ARRAY_FIELDS if k in npz.files}
             samples = int(arrays["epoch"].shape[0])
-            for k, fill in _V2_COMPAT_FILLS.items():
+            for k, fill in _COMPAT_FILLS.items():
                 if k not in arrays:
                     arrays[k] = np.full(samples, fill)
         return cls(meta=meta, **arrays)
@@ -163,7 +182,8 @@ class TimeSeries:
         n = self.num_osds
         header = (
             ["epoch", "load_cov", "load_peak_ratio", "wear_cov", "migrations",
-             "alive", "replacements", "remaining_life_min", "remaining_life_mean"]
+             "alive", "replacements", "remaining_life_min", "remaining_life_mean",
+             "queue_depth_mean", "queue_depth_cov", "service_lat_mean"]
             + [f"load_osd{i}" for i in range(n)]
             + [f"wear_osd{i}" for i in range(n)]
         )
@@ -182,6 +202,9 @@ class TimeSeries:
                         int(self.replacements[t]),
                         float(self.remaining_life_min[t]),
                         float(self.remaining_life_mean[t]),
+                        float(self.queue_depth_mean[t]),
+                        float(self.queue_depth_cov[t]),
+                        float(self.service_lat_mean[t]),
                     ]
                     + [float(v) for v in self.load[t]]
                     + [float(v) for v in self.wear[t]]
@@ -222,11 +245,19 @@ class TimeSeriesRecorder(Recorder):
         self._replacements = np.zeros(cap, dtype=np.int64)
         self._life_min = np.zeros(cap)
         self._life_mean = np.zeros(cap)
+        self._qd_mean = np.zeros(cap)
+        self._qd_cov = np.zeros(cap)
+        self._lat_mean = np.zeros(cap)
         self._i = 0
         self._window = 0       # moves applied since the last recorded sample
         self._repl_window = 0  # failure re-placements since the last sample
+        # Latest per-epoch service scalars, tracked every epoch (not just
+        # sampled ones) so the end-of-run row finalize() appends carries the
+        # final epoch's values even when sampling skipped it.
+        self._svc_last = (0.0, 0.0, 0.0)
 
     def on_epoch(self, state: "ClusterState", load: np.ndarray, stats: EpochStats) -> None:
+        self._svc_last = (stats.queue_depth_mean, stats.queue_depth_cov, stats.lat_mean)
         if stats.epoch % self.record_every:
             return
         self._record(stats.epoch, load, state)
@@ -273,6 +304,7 @@ class TimeSeriesRecorder(Recorder):
                 "chunk_size_mb": cfg.chunk_size_mb,
                 "faults": cfg.faults,
                 "endurance": cfg.endurance,
+                "service": cfg.service,
             },
             epoch=self._epoch[:i].copy(),
             load=self._load[:i].copy(),
@@ -285,6 +317,9 @@ class TimeSeriesRecorder(Recorder):
             replacements=self._replacements[:i].copy(),
             remaining_life_min=self._life_min[:i].copy(),
             remaining_life_mean=self._life_mean[:i].copy(),
+            queue_depth_mean=self._qd_mean[:i].copy(),
+            queue_depth_cov=self._qd_cov[:i].copy(),
+            service_lat_mean=self._lat_mean[:i].copy(),
         )
         return self.series
 
@@ -312,4 +347,5 @@ class TimeSeriesRecorder(Recorder):
         self._replacements[i] = self._repl_window
         self._repl_window = 0
         self._record_lifetime(i, state)
+        self._qd_mean[i], self._qd_cov[i], self._lat_mean[i] = self._svc_last
         self._i = i + 1

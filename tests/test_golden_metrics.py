@@ -22,14 +22,20 @@ from conftest import cfg_factory
 from edm.config import ENGINE_VERSION
 from edm.engine.core import simulate
 
-PINNED_ENGINE_VERSION = 4
+PINNED_ENGINE_VERSION = 5
 
+# The first five digests predate the service model (ENGINE_VERSION 4) and
+# were NOT re-generated for version 5: unserviced configs must keep
+# computing bit-identical metrics, so these very digests passing is the
+# proof the service threading left the existing engine untouched.
 GOLDEN = {
     "baseline": "204bf55851419b3ce608213e5ebc7695fe4159753d878af9728027e93e8975cd",
     "cdf": "18eeff315672328aed5db035f3a97a062d95b5e847094106c564416f15da7a64",
     "hdf": "7587520683ebd85a86a34428ec624a27dfd5854c2042302c0ac41dc52ec49215",
     "cmt": "4cc68da3d89eeaec163922899a83ecbfa1aac9a038eb6f7d99284664736bac10",
     "cmt-degraded-rated": "b27d481f49c3ab7265d1b077a8c99668af5015eacd5e98bc96753e2a35179800",
+    "cmt-serviced": "e2c6339a16260cac5c46c1a8d6fbedbab2b47e0cc01932b17adca3dd1ab5b088",
+    "cmt-serviced-degraded": "5f70b4125c99678e0e3b8e2a7417643b1a934dc81eadda2adeffce1d13e06325",
 }
 
 CASES = {
@@ -40,6 +46,14 @@ CASES = {
     # Degraded + rated: exercises fault re-placement, wear-out failures, and
     # the endurance metrics block in one config.
     "cmt-degraded-rated": dict(policy="cmt", faults="fail:1@8", endurance="pe:900"),
+    # Serviced: exercises the queue recursion, the latency histogram, and
+    # migration work injection (ENGINE_VERSION 5).
+    "cmt-serviced": dict(policy="cmt", service="rate:120;queue:256"),
+    # Serviced + degraded: lost-work accounting and re-placement bursts
+    # landing in the survivors' queues.
+    "cmt-serviced-degraded": dict(
+        policy="cmt", service="rate:60;rate:200@4-7;queue:64", faults="fail:1@8"
+    ),
 }
 
 

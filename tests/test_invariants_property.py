@@ -1,13 +1,17 @@
 """Property-style invariant suite: randomized-but-seeded configurations over
-policy x workload x faults x endurance, each run checked epoch-by-epoch.
+policy x workload x faults x endurance x service, each run checked
+epoch-by-epoch.
 
-Invariants (must hold for every policy, healthy or degraded, rated or not):
+Invariants (must hold for every policy, healthy or degraded, rated or not,
+serviced or not):
 
   * wear conservation -- total wear equals routed writes plus migration
     rewrites, to float precision
   * per-OSD wear is monotone non-decreasing, wear rates never negative
   * remaining rated lifetime is never negative (clamped at zero)
   * dead OSDs own no chunks and serve zero load; chunks are conserved
+  * queue depths and pending migration work are finite and never negative;
+    dead OSDs carry no backlog; unserviced runs never grow a queue
   * the alive count never increases, and state / metrics / TimeSeries agree
     on it at every recorded epoch
 
@@ -27,6 +31,7 @@ SIZING = dict(num_osds=8, epochs=24, requests_per_epoch=512, chunks_per_osd=8)
 
 FAULT_SCENARIOS = ("", "fail:1@8", "slow:2@4x0.5;fail:1@8", "hiccup:3@6+4x0.25")
 ENDURANCE_MODELS = ("", "pe:900", "pe:1200@0-1,100000@2-7")
+SERVICE_MODELS = ("", "rate:100", "rate:80;queue:32", "rate:60;rate:200@4-7;queue:64")
 
 
 def sample_configs():
@@ -45,6 +50,7 @@ def sample_configs():
                     workload=WORKLOADS[int(rng.integers(len(WORKLOADS)))],
                     faults="" if pinned else FAULT_SCENARIOS[int(rng.integers(len(FAULT_SCENARIOS)))],
                     endurance="" if pinned else ENDURANCE_MODELS[int(rng.integers(len(ENDURANCE_MODELS)))],
+                    service="" if pinned else SERVICE_MODELS[int(rng.integers(len(SERVICE_MODELS)))],
                     seed=int(rng.integers(1, 10_000)),
                     **SIZING,
                 )
@@ -75,6 +81,15 @@ class InvariantRecorder(Recorder):
         assert (load[~alive] == 0).all(), "dead OSD served load"
         assert (owned[~alive] == 0).all(), "dead OSD owns chunks"
         assert (state.osd_capacity[~alive] == 0).all(), "dead OSD has capacity"
+        # Queues: finite, never negative; corpse queues are swept before
+        # observers run; without a service model no queue ever forms.
+        for name in ("osd_queue_depth", "osd_mig_backlog"):
+            q = getattr(state, name)
+            assert np.isfinite(q).all(), f"non-finite {name}"
+            assert (q >= 0).all(), f"negative {name}"
+            assert (q[~alive] == 0).all(), f"dead OSD carries {name}"
+            if not self.cfg.service:
+                assert (q == 0).all(), f"unserviced run grew {name}"
         # Nobody comes back from the dead.
         n_alive = int(alive.sum())
         if self.alive_per_epoch:
@@ -123,6 +138,7 @@ def test_sample_covers_every_policy_and_scenario_kind():
     assert {c.policy for c in cases} == set(POLICIES)
     assert any(c.faults for c in cases), "no faulted config sampled"
     assert any(c.endurance for c in cases), "no rated config sampled"
-    assert any(not c.faults and not c.endurance for c in cases)
+    assert any(c.service for c in cases), "no serviced config sampled"
+    assert any(not c.faults and not c.endurance and not c.service for c in cases)
     # Reproducibility: the same seeded draw yields the same sample.
     assert [c.cache_name() for c in sample_configs()] == [c.cache_name() for c in cases]

@@ -60,6 +60,35 @@ def test_render_formats(swept_cache):
         report.render(cells, fmt="yaml")
 
 
+def test_service_columns_appear_only_with_a_service_scenario(tmp_path):
+    grid = default_grid(
+        workloads=("deasna",),
+        osds=(4,),
+        policies=("cmt",),
+        seeds=(1,),
+        service=("", "rate:120;queue:64"),
+        **TINY,
+    )
+    sweep(grid, cache_dir=tmp_path / "cache", workers=1)
+    cells = report.aggregate(report.load_cached_metrics(tmp_path / "cache").metrics)
+    assert [c["service"] for c in cells] == ["", "rate:120;queue:64"]
+    serviced = cells[1]
+    assert serviced["service_lat_p50"] <= serviced["service_lat_p99"]
+    assert "service_lat_p50" not in cells[0]
+
+    md = report.render(cells, fmt="markdown")
+    header = md.splitlines()[0]
+    assert "| service |" in header
+    assert header.endswith("| lat p50 | lat p99 | lat p999 | mig spike |")
+    untimed_row = next(line for line in md.splitlines() if "untimed" in line)
+    assert untimed_row.endswith("| - | - | - | - |")  # no latency numbers to show
+
+    # A service-free cache keeps the historical table shape.
+    plain = report.aggregate([m for m in report.load_cached_metrics(
+        tmp_path / "cache").metrics if not m.get("service")])
+    assert "service" not in report.render(plain, fmt="markdown").splitlines()[0]
+
+
 def test_report_cli_markdown(swept_cache, capsys):
     assert main(["report", str(swept_cache / "cache")]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,309 @@
+"""Request-level service model: spec semantics, queue recursion, latency
+metrics, and the vectorized-vs-scalar bit-identity contract.
+
+The service layer must never perturb what the engine computes without it:
+shared metrics of a serviced run stay bit-identical to the unserviced run
+(pinned here and by the untouched pre-service golden digests).  The fast
+vectorized epoch step is pinned against the brute-force scalar reference
+both on raw arrays and through entire simulate() runs via monkeypatch.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from conftest import cfg_factory
+from edm.config import POLICIES
+from edm.engine.core import simulate
+from edm.service import (
+    LATENCY_EDGES,
+    ServiceModel,
+    epoch_service_reference,
+    epoch_service_vectorized,
+    histogram_percentile,
+)
+from edm.service import runtime as service_runtime
+from edm.spec import SpecError
+from edm.telemetry import TimeSeriesRecorder
+
+NUM_BINS = LATENCY_EDGES.size - 1
+
+
+# --- spec semantics ----------------------------------------------------------
+
+
+def test_empty_model_is_falsy_and_rates_inf():
+    model = ServiceModel.parse("")
+    assert not model
+    assert model.spec == ""
+    assert model.queue is None and np.isinf(model.queue_bound)
+    assert np.isinf(model.rates(4)).all()
+
+
+def test_rates_layering_default_plus_bands():
+    model = ServiceModel.parse("rate:800;rate:400@0-3;queue:64", num_osds=8)
+    assert model.default_rate == 800.0
+    assert model.queue == 64 and model.queue_bound == 64.0
+    assert model.rates(8).tolist() == [400.0] * 4 + [800.0] * 4
+
+
+def test_rates_full_coverage_without_default():
+    model = ServiceModel.parse("rate:400@0-3;rate:800@4-7", num_osds=8)
+    assert model.default_rate is None
+    assert model.rates(8).tolist() == [400.0] * 4 + [800.0] * 4
+
+
+@pytest.mark.parametrize("spec,message", [
+    ("rate:800;queue:8;queue:16", r"at most one queue clause is allowed"),
+    ("rate:800;queue:0", r"service clause 'queue:0': queue depth must be >= 1"),
+    ("rate:0", r"service clause 'rate:0': service rate must be > 0"),
+    ("rate:800;rate:400", r"at most one default \(range-free\) band"),
+    ("rate:400@0-3", r"OSDs \[4, 5, 6, 7\] have no service rate"),
+    ("rate:400@0-3;rate:800@3-7", r"OSD 3 is rated by more than one band"),
+])
+def test_spec_rejections(spec, message):
+    with pytest.raises(SpecError, match=message):
+        ServiceModel.parse(spec, num_osds=8)
+
+
+def test_config_canonicalizes_service_spec(make_cfg):
+    cfg = make_cfg(service="queue:64;rate:200.0")
+    assert cfg.service == "rate:200;queue:64"
+
+
+# --- percentile guards -------------------------------------------------------
+
+
+def test_percentile_empty_histogram_is_nan():
+    # Explicit branch, not 0/0 -- must hold under -W error::RuntimeWarning.
+    assert np.isnan(histogram_percentile(np.zeros(NUM_BINS, dtype=np.int64), 0.5))
+
+
+def test_percentile_overflow_bin_is_inf():
+    hist = np.zeros(NUM_BINS, dtype=np.int64)
+    hist[-1] = 10  # every request slower than the last finite edge
+    assert np.isinf(histogram_percentile(hist, 0.5))
+
+
+def test_percentile_reads_lower_bin_edge():
+    hist = np.zeros(NUM_BINS, dtype=np.int64)
+    hist[10] = 100
+    for q in (0.5, 0.99, 0.999):
+        assert histogram_percentile(hist, q) == LATENCY_EDGES[10]
+
+
+def test_percentile_tail_crosses_bins():
+    hist = np.zeros(NUM_BINS, dtype=np.int64)
+    hist[5] = 99
+    hist[200] = 1
+    assert histogram_percentile(hist, 0.5) == LATENCY_EDGES[5]
+    assert histogram_percentile(hist, 0.999) == LATENCY_EDGES[200]
+
+
+# --- epoch step unit behaviors -----------------------------------------------
+
+
+def arr(*xs):
+    return np.asarray(xs, dtype=np.float64)
+
+
+def test_zero_arrivals_zero_work():
+    accepted, lat, depth = epoch_service_vectorized(
+        np.array([0, 0]), arr(0, 0), arr(10, 10), np.inf
+    )
+    assert accepted.tolist() == [0, 0]
+    assert lat.size == 0
+    assert depth.tolist() == [0.0, 0.0]
+
+
+def test_dead_osd_admits_nothing():
+    accepted, lat, _ = epoch_service_vectorized(
+        np.array([5, 5]), arr(0, 0), arr(0.0, 10.0), np.inf
+    )
+    assert accepted.tolist() == [0, 5]
+    assert np.isfinite(lat).all()
+
+
+def test_bounded_queue_drops_beyond_room():
+    # rate 2, bound 3: room for floor(3 + 2 - 0) = 5 of the 10 arrivals.
+    accepted, _, depth = epoch_service_vectorized(
+        np.array([10]), arr(0), arr(2), 3.0
+    )
+    assert accepted.tolist() == [5]
+    assert depth.tolist() == [3.0]  # 0 + 5 - 2, clamped at the bound
+
+
+def test_fifo_latency_positions():
+    # 3 requests on a backlog of 2 at rate 4: sojourns (3,4,5)/4.
+    _, lat, depth = epoch_service_vectorized(np.array([3]), arr(2), arr(4), np.inf)
+    assert lat.tolist() == [0.75, 1.0, 1.25]
+    assert depth.tolist() == [1.0]  # 2 + 3 - 4
+
+
+def test_unbounded_queue_never_drops():
+    accepted, _, depth = epoch_service_vectorized(
+        np.array([1000]), arr(500), arr(1), np.inf
+    )
+    assert accepted.tolist() == [1000]
+    assert depth.tolist() == [1499.0]
+
+
+# --- vectorized == scalar reference, bit for bit -----------------------------
+
+
+def test_epoch_step_matches_reference_fuzz():
+    rng = np.random.default_rng(20260808)
+    for _ in range(50):
+        n = int(rng.integers(1, 12))
+        arrivals = rng.integers(0, 200, size=n)
+        base = rng.uniform(0, 50, size=n)
+        rate = rng.uniform(0, 40, size=n)
+        rate[rng.random(n) < 0.2] = 0.0  # dead OSDs
+        qbound = float(rng.choice([np.inf, 4.0, 32.0, 128.0]))
+        fast = epoch_service_vectorized(arrivals, base, rate, qbound)
+        slow = epoch_service_reference(arrivals, base, rate, qbound)
+        for f, s in zip(fast, slow):
+            assert np.array_equal(f, s), (arrivals, base, rate, qbound)
+
+
+SCALAR_XCHECK_CASES = [
+    dict(policy=policy, service="rate:120;queue:64") for policy in POLICIES
+] + [
+    dict(policy="cmt", service="rate:60;rate:200@2-3", faults="fail:1@8"),
+    dict(policy="cmt", service="rate:120;queue:32", workload="lair62",
+         faults="slow:2@4x0.5", endurance="pe:900"),
+]
+
+
+@pytest.mark.parametrize(
+    "case", SCALAR_XCHECK_CASES, ids=lambda c: f"{c['policy']}-{c.get('faults') or 'healthy'}"
+)
+def test_whole_run_scalar_reference_bit_identical(case, monkeypatch):
+    """Drive entire simulate() runs through the scalar path: zero metric diffs."""
+    cfg = cfg_factory(epochs=24, requests_per_epoch=512, **case)
+    fast = simulate(cfg)
+    monkeypatch.setattr(service_runtime, "epoch_service", epoch_service_reference)
+    slow = simulate(cfg)
+    assert set(fast) == set(slow)
+    for key in fast:
+        f, s = fast[key], slow[key]
+        if isinstance(f, float) and np.isnan(f):
+            assert np.isnan(s), key
+        else:
+            assert f == s, key
+
+
+# --- engine integration ------------------------------------------------------
+
+
+def test_service_block_present_and_sane(make_cfg):
+    metrics = simulate(make_cfg(service="rate:120;queue:64"))
+    assert metrics["service"] == "rate:120;queue:64"
+    p50, p99, p999 = (
+        metrics["service_lat_p50"],
+        metrics["service_lat_p99"],
+        metrics["service_lat_p999"],
+    )
+    assert 0 <= p50 <= p99 <= p999
+    assert metrics["service_requests_total"] == 32 * 512
+    assert 0 <= metrics["service_dropped_total"] < metrics["service_requests_total"]
+    assert metrics["queue_depth_max"] <= 64.0
+    assert "migration_spike_ratio" in metrics and "migration_spike_lat_max" in metrics
+
+
+def test_serviced_run_keeps_shared_metrics_bit_identical(make_cfg):
+    """The service model observes the cluster; it must never steer it."""
+    plain = simulate(make_cfg())
+    serviced = simulate(make_cfg(service="rate:120;queue:64"))
+    assert "service_lat_p50" not in plain
+    for key, value in plain.items():
+        assert serviced[key] == value, key
+
+
+def test_unserviced_metrics_carry_no_service_keys(make_cfg):
+    metrics = simulate(make_cfg())
+    assert not [k for k in metrics if k.startswith(("service", "queue_depth"))]
+
+
+def test_slower_cluster_has_higher_latency(make_cfg):
+    fast = simulate(make_cfg(service="rate:400"))
+    slow = simulate(make_cfg(service="rate:100"))
+    assert slow["service_lat_mean"] > fast["service_lat_mean"]
+    assert slow["service_lat_p99"] >= fast["service_lat_p99"]
+    assert slow["queue_depth_mean"] >= fast["queue_depth_mean"]
+
+
+def test_dead_osd_backlog_becomes_lost_work(make_cfg):
+    degraded = simulate(make_cfg(service="rate:100", faults="fail:1@8"))
+    assert degraded["service_lost_work"] > 0.0
+    healthy = simulate(make_cfg(service="rate:100"))
+    assert healthy["service_lost_work"] == 0.0
+
+
+def test_migration_work_creates_latency_spikes(make_cfg):
+    # Slow enough that queues form; migration bursts must then show up as a
+    # distinct (and slower) latency population.
+    metrics = simulate(make_cfg(service="rate:120;queue:256"))
+    assert np.isfinite(metrics["migration_spike_ratio"])
+    assert metrics["migration_spike_lat_max"] > 0.0
+
+
+# --- telemetry ---------------------------------------------------------------
+
+
+def test_timeseries_service_columns(make_cfg):
+    rec = TimeSeriesRecorder(record_every=1)
+    simulate(make_cfg(service="rate:120;queue:64"), recorders=(rec,))
+    s = rec.series
+    assert s.queue_depth_mean.shape == (s.num_samples,)
+    assert (s.queue_depth_mean >= 0).all() and (s.queue_depth_cov >= 0).all()
+    assert s.queue_depth_mean.max() > 0  # rate 120 < load: queues must form
+    assert s.service_lat_mean.max() > 0
+    assert s.meta["service"] == "rate:120;queue:64"
+
+
+def test_timeseries_service_columns_zero_without_model(small_cfg):
+    rec = TimeSeriesRecorder(record_every=1)
+    simulate(small_cfg, recorders=(rec,))
+    assert (rec.series.queue_depth_mean == 0).all()
+    assert (rec.series.service_lat_mean == 0).all()
+    assert rec.series.meta["service"] == ""
+
+
+# --- CLI and run log ---------------------------------------------------------
+
+
+def test_cli_run_service_reports_tail_latency(capsys):
+    from edm.cli import main
+
+    rc = main([
+        "run", "--osds", "4", "--policy", "cmt", "--epochs", "16",
+        "--requests", "512", "--service", "rate:120;queue:64",
+    ])
+    assert rc == 0
+    metrics = json.loads(capsys.readouterr().out)
+    for key in ("service_lat_p50", "service_lat_p99", "service_lat_p999",
+                "migration_spike_ratio"):
+        assert key in metrics
+    assert metrics["service"] == "rate:120;queue:64"
+
+
+def test_sweep_emits_service_run_log_records(tmp_path):
+    from edm.obs import read_run_log
+    from edm.sweep import default_grid, sweep
+
+    grid = default_grid(
+        workloads=("deasna",), osds=(4,), policies=("cmt",), seeds=(1,),
+        service=("", "rate:120;queue:64"),
+        epochs=16, requests_per_epoch=512, chunks_per_osd=8,
+    )
+    log_path = tmp_path / "runs.jsonl"
+    sweep(grid, cache_dir=tmp_path / "cache", workers=1, run_log=log_path)
+    records = read_run_log(log_path)  # strict: every record passes the schema
+    service_records = [r for r in records if r["event"] == "service"]
+    assert len(service_records) == 1  # one serviced config in the grid
+    rec = service_records[0]
+    assert rec["config"].startswith("deasna-4osd-cmt-s0.02-r1-q")
+    assert rec["requests"] == 16 * 512
+    assert rec["lat_p50"] <= rec["lat_p99"] <= rec["lat_p999"]

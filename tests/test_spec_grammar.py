@@ -1,0 +1,251 @@
+"""Shared spec-grammar toolkit (edm.spec) and the porting contract.
+
+The faults / endurance / service grammars all sit on top of edm.spec.  The
+toolkit's own behaviors are unit-tested here; the round-trip pins assert the
+**porting contract**: canonical spec strings, error messages, config hashes
+and cache-key suffixes are byte-identical to what the pre-toolkit
+hand-rolled parsers produced, so every previously written cache entry (and
+every pinned golden digest) survives the port.
+"""
+
+import re
+
+import pytest
+
+from conftest import cfg_factory
+from edm.config import config_hash
+from edm.endurance import EnduranceModel
+from edm.faults import FaultPlan
+from edm.service import ServiceModel
+from edm.spec import (
+    ClauseRule,
+    SpecError,
+    SpecGrammar,
+    format_fixed,
+    format_g,
+    render_range,
+    span_fragment,
+    validate_bands,
+)
+
+# --- number rendering --------------------------------------------------------
+
+
+@pytest.mark.parametrize("x,expected", [
+    (0.5, "0.5"),
+    (1.0, "1"),
+    (0.25, "0.25"),
+    (1000000.0, "1e+06"),  # %g switches to scientific -- why bands use fixed
+])
+def test_format_g(x, expected):
+    assert format_g(x) == expected
+
+
+@pytest.mark.parametrize("x,expected", [
+    (3000.0, "3000"),
+    (1000000.0, "1000000"),  # never scientific: must re-parse under \d+(\.\d+)?
+    (0.5, "0.5"),
+    (812.25, "812.25"),
+])
+def test_format_fixed_round_trips(x, expected):
+    assert format_fixed(x) == expected
+    assert float(format_fixed(x)) == x
+
+
+# --- range helpers -----------------------------------------------------------
+
+
+def test_span_fragment_normalizes_single_osd_to_degenerate_range():
+    assert span_fragment(None, None) is None
+    assert span_fragment("3", None) == (3, 3)
+    assert span_fragment("0", "7") == (0, 7)
+
+
+def test_render_range_is_span_fragment_inverse():
+    assert render_range(None, None) == ""
+    assert render_range(3, 3) == "@3"
+    assert render_range(0, 7) == "@0-7"
+
+
+# --- SpecGrammar tokenization and matching -----------------------------------
+
+
+TOY = SpecGrammar(
+    name="toy",
+    clause_noun="toy clause",
+    expected="'a:N'",
+    rules=(
+        ClauseRule(name="a", regex=re.compile(r"^a:(\d+)$"), build=lambda m: int(m.group(1))),
+    ),
+)
+
+
+@pytest.mark.parametrize("spec", ["", "   ", "none", None])
+def test_split_empty_spellings_mean_no_clauses(spec):
+    assert TOY.split(spec) == []
+    assert TOY.parse(spec) == []
+
+
+def test_split_strips_and_drops_blank_clauses():
+    assert TOY.split(" a:1 ; ;a:2;") == ["a:1", "a:2"]
+    assert TOY.parse("a:1; a:2") == [1, 2]
+
+
+def test_parse_error_names_the_offending_clause():
+    with pytest.raises(SpecError, match=r"bad toy clause 'b:9'; expected 'a:N'"):
+        TOY.parse("a:1;b:9")
+
+
+def test_spec_error_is_a_value_error():
+    # Pre-toolkit call sites catch ValueError; the subclass keeps them working.
+    assert issubclass(SpecError, ValueError)
+    with pytest.raises(ValueError):
+        TOY.parse("nope")
+
+
+# --- validate_bands ----------------------------------------------------------
+
+
+class Band:
+    def __init__(self, value, lo=None, hi=None):
+        self.value, self.lo, self.hi = value, lo, hi
+
+    def render(self):
+        return f"{format_fixed(self.value)}{render_range(self.lo, self.hi)}"
+
+
+def check(bands, num_osds=8):
+    validate_bands(
+        bands,
+        num_osds,
+        spec="SPEC",
+        spec_noun="toy spec",
+        band_noun="toy band",
+        value_noun="toy value",
+        render=lambda b: b.render(),
+    )
+
+
+def test_validate_bands_accepts_default_plus_ranges():
+    check([Band(5), Band(3, 0, 3), Band(9, 4, 4)])
+    check([Band(3, 0, 3), Band(9, 4, 7)])  # no default, full coverage
+    check([Band(5)], num_osds=None)  # unknown cluster size: no coverage check
+
+
+@pytest.mark.parametrize("bands,message", [
+    ([Band(1), Band(2)], r"at most one default \(range-free\) band"),
+    ([Band(0, 0, 7)], r"toy band '0@0-7': toy value must be > 0"),
+    ([Band(1), Band(2, 5, 3)], r"toy band '2@5-3': range is inverted"),
+    ([Band(1), Band(2, 6, 9)], r"OSD 9 out of range for a 8-OSD cluster"),
+    ([Band(1, 0, 4), Band(2, 3, 7)], r"toy band '2@3-7': OSD 3 is rated by more than one band"),
+    ([Band(1, 0, 3)], r"toy spec 'SPEC': OSDs \[4, 5, 6, 7\] have no rating"),
+])
+def test_validate_bands_rejections(bands, message):
+    with pytest.raises(SpecError, match=message):
+        check(bands)
+
+
+# --- porting contract: canonical strings are byte-identical ------------------
+# These exact strings were produced by the pre-toolkit parsers; a flip here
+# means config_hash values moved and every cached result silently went stale.
+
+FAULT_PINS = [
+    ("fail:3@100", "fail:3@100"),
+    ("slow:5@050x0.50", "slow:5@50x0.5"),
+    ("hiccup:2@60+10x0.25", "hiccup:2@60+10x0.25"),
+    # Events sort by (epoch, kind, osd); numbers normalize through %g.
+    ("fail:3@100;slow:5@50x0.5", "slow:5@50x0.5;fail:3@100"),
+    ("slow:7@8x1.0;fail:6@8;hiccup:1@8+2x0.5", "fail:6@8;hiccup:1@8+2x0.5;slow:7@8x1"),
+]
+
+ENDURANCE_PINS = [
+    ("pe:5000", "pe:5000"),
+    ("pe:5000.0", "pe:5000"),
+    # Default band first, ranged bands by first OSD; fixed-point rendering.
+    ("pe:10000@4-7,3000@0-3", "pe:3000@0-3,10000@4-7"),
+    ("pe:300@2,5000", "pe:5000,300@2"),
+    ("pe:1000000", "pe:1000000"),  # format_fixed, never 1e+06
+]
+
+SERVICE_PINS = [
+    ("rate:800", "rate:800"),
+    ("rate:800.0;queue:64", "rate:800;queue:64"),
+    # Default rate first, ranged rates by first OSD, queue clause last.
+    ("queue:64;rate:400@4-7;rate:800", "rate:800;rate:400@4-7;queue:64"),
+    ("rate:800@4-7;rate:400@0-3", "rate:400@0-3;rate:800@4-7"),
+]
+
+
+@pytest.mark.parametrize("spelled,canonical", FAULT_PINS)
+def test_fault_plan_canonical_pins(spelled, canonical):
+    plan = FaultPlan.parse(spelled, num_osds=8)
+    assert plan.spec == canonical
+    assert FaultPlan.parse(plan.spec, num_osds=8).spec == canonical  # round-trip
+
+
+@pytest.mark.parametrize("spelled,canonical", ENDURANCE_PINS)
+def test_endurance_model_canonical_pins(spelled, canonical):
+    model = EnduranceModel.parse(spelled, num_osds=8)
+    assert model.spec == canonical
+    assert EnduranceModel.parse(model.spec, num_osds=8).spec == canonical
+
+
+@pytest.mark.parametrize("spelled,canonical", SERVICE_PINS)
+def test_service_model_canonical_pins(spelled, canonical):
+    model = ServiceModel.parse(spelled, num_osds=8)
+    assert model.spec == canonical
+    assert ServiceModel.parse(model.spec, num_osds=8).spec == canonical
+
+
+# --- porting contract: grammar error messages --------------------------------
+
+
+@pytest.mark.parametrize("factory,spec,message", [
+    (FaultPlan, "explode:3@1", r"bad fault event 'explode:3@1'; expected 'fail:OSD@EPOCH'"),
+    (EnduranceModel, "pe:abc", r"bad endurance band 'abc'; expected 'CYCLES'"),
+    (EnduranceModel, "3000", r"bad endurance spec '3000'; expected 'pe:CYCLES'"),
+    (ServiceModel, "rate:-5", r"bad service clause 'rate:-5'; expected 'rate:RATE'"),
+    (ServiceModel, "queue:64", r"no rate clause; at least one 'rate:RATE' is required"),
+])
+def test_grammar_error_messages_unchanged(factory, spec, message):
+    with pytest.raises(SpecError, match=message):
+        factory.parse(spec, num_osds=8)
+
+
+# --- porting contract: config hashes and cache keys --------------------------
+
+
+def test_equivalent_spellings_hash_identically():
+    a = cfg_factory(
+        faults="slow:2@4x0.50;fail:1@8",
+        endurance="pe:100000@2-3,1200@0-1",
+        service="queue:32;rate:200.0",
+    )
+    b = cfg_factory(
+        faults="fail:1@8;slow:2@4x0.5",
+        endurance="pe:1200@0-1,100000@2-3",
+        service="rate:200;queue:32",
+    )
+    assert a == b
+    assert config_hash(a) == config_hash(b)
+    assert a.cache_name() == b.cache_name()
+
+
+def test_cache_name_scenario_suffixes_compose_in_order():
+    plain = cfg_factory()
+    assert plain.cache_name() == "deasna-4osd-cmt-s0.02-r12345"
+    serviced = cfg_factory(service="rate:200;queue:32")
+    # -q + 8 hex chars of sha256(canonical service spec)
+    assert serviced.cache_name().startswith(plain.cache_name() + "-q")
+    assert len(serviced.cache_name()) == len(plain.cache_name()) + 10
+    assert cfg_factory(service="rate:300").cache_name() != serviced.cache_name()
+
+    everything = cfg_factory(
+        faults="fail:1@8", endurance="pe:900", service="rate:200;queue:32"
+    )
+    name = everything.cache_name()
+    assert re.fullmatch(
+        re.escape(plain.cache_name())
+        + r"-f[0-9a-f]{8}-e[0-9a-f]{8}-q[0-9a-f]{8}",
+        name,
+    )

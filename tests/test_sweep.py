@@ -70,7 +70,7 @@ def test_sweep_result_rejects_incomplete_results(tmp_path):
     ok = sweep(grid, cache_dir=tmp_path, workers=1)
     with pytest.raises(TypeError, match="non-dict entries at indices \\[1\\]"):
         SweepResult(
-            results=[ok.results[0], None],
+            records=[ok.records[0], None],
             cache_hits=0,
             cache_misses=2,
             cache_invalidated=0,
@@ -169,7 +169,11 @@ def test_stream_summaries_match_eager_results(tmp_path):
     eager = sweep(grid, cache_dir=tmp_path / "a", workers=1)
     streamed = sweep(grid, cache_dir=tmp_path / "b", workers=1, stream=True)
     assert streamed.streamed and streamed.simulated == len(grid)
-    for cfg, slim, full in zip(grid, streamed.results, eager.results):
+    # The legacy accessor refuses to hand out summaries as if they were
+    # full metrics; .records is the honest surface for what crossed the pool.
+    with pytest.raises(RuntimeError, match="streamed sweep.*iter_results"):
+        streamed.results
+    for cfg, slim, full in zip(grid, streamed.records, eager.results):
         assert slim["streamed"] is True
         assert slim["config"] == cfg.cache_name()
         for key in SUMMARY_KEYS:
@@ -186,7 +190,7 @@ def test_stream_warm_probe_summarizes_cache_hits(tmp_path):
     sweep(grid, cache_dir=tmp_path, workers=1)  # populate eagerly
     warm = sweep(grid, cache_dir=tmp_path, workers=1, stream=True)
     assert warm.cache_hits == len(grid) and warm.simulated == 0
-    assert all(r.get("streamed") for r in warm.results)
+    assert all(r.get("streamed") for r in warm.records)
 
 
 def test_stream_interrupted_sweep_resumes_from_worker_spills(tmp_path):
@@ -236,7 +240,7 @@ def test_stream_smoke_large_grid_parent_holds_only_summaries(tmp_path):
     res = sweep(grid, cache_dir=tmp_path, workers=1, stream=True)
     assert res.simulated == 512
     slim_keys = {"config", "config_hash", "streamed", *SUMMARY_KEYS}
-    assert all(set(r) == slim_keys for r in res.results)
+    assert all(set(r) == slim_keys for r in res.records)
     # Spot-check one lazy reload round-trips to full metrics.
     full = next(res.iter_results())
     assert "per_osd_wear" in full and full["total_requests"] == 2 * 64

@@ -142,9 +142,10 @@ def test_csv_and_json_export(small_cfg, tmp_path):
     assert len(lines) == 1 + s.num_samples
     assert lines[0].startswith(
         "epoch,load_cov,load_peak_ratio,wear_cov,migrations,alive,replacements,"
-        "remaining_life_min,remaining_life_mean"
+        "remaining_life_min,remaining_life_mean,"
+        "queue_depth_mean,queue_depth_cov,service_lat_mean"
     )
-    assert lines[0].count(",") == 8 + 2 * s.num_osds
+    assert lines[0].count(",") == 11 + 2 * s.num_osds
 
     json_path = s.save_json(tmp_path / "series.json")
     import json

@@ -1,7 +1,8 @@
 """TimeSeries format compatibility: v2 ``.npz`` files (written before the
-endurance lifetime columns existed) must still load, backfilled with the
-values a pre-endurance engine would have recorded, and round-trip through
-save -> load as v3 files.  Files missing a *core* column still fail loudly."""
+endurance lifetime columns existed) and v3 files (written before the service
+columns existed) must still load, backfilled with the values an engine of
+that vintage would have recorded, and round-trip through save -> load as
+current-format files.  Files missing a *core* column still fail loudly."""
 
 import json
 
@@ -10,12 +11,17 @@ import pytest
 
 from edm.engine.core import simulate
 from edm.telemetry import TimeSeries, TimeSeriesRecorder
-from edm.telemetry.timeseries import _V2_COMPAT_FILLS, SERIES_FORMAT_VERSION
+from edm.telemetry.timeseries import (
+    _V2_COMPAT_FILLS,
+    _V3_COMPAT_FILLS,
+    SERIES_FORMAT_VERSION,
+)
 
 V2_FIELDS = (
     "epoch", "load", "load_cov", "load_peak_ratio", "wear", "wear_cov",
     "migrations", "alive", "replacements",
 )
+V3_FIELDS = (*V2_FIELDS, "remaining_life_min", "remaining_life_mean")
 
 
 def write_v2_npz(path, series, drop=()):
@@ -23,36 +29,49 @@ def write_v2_npz(path, series, drop=()):
     lifetime columns (optionally dropping core columns to simulate damage)."""
     meta = {**series.meta, "format_version": 2}
     meta.pop("endurance", None)  # v2 meta predates the endurance field
+    meta.pop("service", None)    # ...and the service field
     arrays = {k: getattr(series, k) for k in V2_FIELDS if k not in drop}
     with open(path, "wb") as f:
         np.savez_compressed(f, meta=np.asarray(json.dumps(meta)), **arrays)
     return path
 
 
+def write_v3_npz(path, series):
+    """Write an ``.npz`` shaped exactly like a v3-era file: lifetime columns
+    present, service columns absent."""
+    meta = {**series.meta, "format_version": 3}
+    meta.pop("service", None)  # v3 meta predates the service field
+    arrays = {k: getattr(series, k) for k in V3_FIELDS}
+    with open(path, "wb") as f:
+        np.savez_compressed(f, meta=np.asarray(json.dumps(meta)), **arrays)
+    return path
+
+
 @pytest.fixture
-def v3_series(small_cfg):
+def live_series(small_cfg):
+    """A series written by the *current* engine (format v4)."""
     rec = TimeSeriesRecorder(record_every=4)
     simulate(small_cfg, recorders=(rec,))
     return rec.series
 
 
-def test_v2_file_loads_with_backfilled_lifetime(tmp_path, v3_series):
-    path = write_v2_npz(tmp_path / "v2.npz", v3_series)
+def test_v2_file_loads_with_backfilled_lifetime(tmp_path, live_series):
+    path = write_v2_npz(tmp_path / "v2.npz", live_series)
     loaded = TimeSeries.load_npz(path)
     assert loaded.meta["format_version"] == 2
     # Core columns survive untouched ...
     for name in V2_FIELDS:
-        assert np.array_equal(getattr(loaded, name), getattr(v3_series, name)), name
+        assert np.array_equal(getattr(loaded, name), getattr(live_series, name)), name
     # ... and the lifetime columns are backfilled with the pre-endurance
     # values (infinite remaining rated life), one entry per sample.
     for name, fill in _V2_COMPAT_FILLS.items():
         col = getattr(loaded, name)
-        assert col.shape == (v3_series.num_samples,)
+        assert col.shape == (live_series.num_samples,)
         assert (col == fill).all(), name
 
 
-def test_v2_file_round_trips_to_v3(tmp_path, v3_series):
-    old = TimeSeries.load_npz(write_v2_npz(tmp_path / "v2.npz", v3_series))
+def test_v2_file_round_trips_to_v3(tmp_path, live_series):
+    old = TimeSeries.load_npz(write_v2_npz(tmp_path / "v2.npz", live_series))
     resaved = TimeSeries.load_npz(old.save_npz(tmp_path / "resaved.npz"))
     assert resaved.meta == old.meta
     for name in V2_FIELDS:
@@ -61,16 +80,41 @@ def test_v2_file_round_trips_to_v3(tmp_path, v3_series):
     assert np.isinf(resaved.remaining_life_mean).all()
 
 
-def test_v3_file_round_trips_exactly(tmp_path, v3_series):
-    assert v3_series.meta["format_version"] == SERIES_FORMAT_VERSION
-    loaded = TimeSeries.load_npz(v3_series.save_npz(tmp_path / "v3.npz"))
-    assert loaded.meta == v3_series.meta
-    for name in (*V2_FIELDS, *_V2_COMPAT_FILLS):
-        assert np.array_equal(getattr(loaded, name), getattr(v3_series, name)), name
+def test_v3_file_loads_with_backfilled_service_columns(tmp_path, live_series):
+    path = write_v3_npz(tmp_path / "v3.npz", live_series)
+    loaded = TimeSeries.load_npz(path)
+    assert loaded.meta["format_version"] == 3
+    # Lifetime columns survive untouched (a v3 writer recorded them) ...
+    for name in V3_FIELDS:
+        assert np.array_equal(getattr(loaded, name), getattr(live_series, name)), name
+    # ... and the service columns backfill with what a pre-service engine
+    # would have recorded: no queues, zero latency.
+    for name, fill in _V3_COMPAT_FILLS.items():
+        col = getattr(loaded, name)
+        assert col.shape == (live_series.num_samples,)
+        assert (col == fill).all(), name
+
+
+def test_v3_file_round_trips_to_v4(tmp_path, live_series):
+    old = TimeSeries.load_npz(write_v3_npz(tmp_path / "v3.npz", live_series))
+    resaved = TimeSeries.load_npz(old.save_npz(tmp_path / "resaved.npz"))
+    assert resaved.meta == old.meta
+    for name in V3_FIELDS:
+        assert np.array_equal(getattr(resaved, name), getattr(old, name)), name
+    assert (resaved.queue_depth_mean == 0).all()
+    assert (resaved.service_lat_mean == 0).all()
+
+
+def test_current_format_file_round_trips_exactly(tmp_path, live_series):
+    assert live_series.meta["format_version"] == SERIES_FORMAT_VERSION
+    loaded = TimeSeries.load_npz(live_series.save_npz(tmp_path / "v4.npz"))
+    assert loaded.meta == live_series.meta
+    for name in (*V2_FIELDS, *_V2_COMPAT_FILLS, *_V3_COMPAT_FILLS):
+        assert np.array_equal(getattr(loaded, name), getattr(live_series, name)), name
 
 
 @pytest.mark.parametrize("core", ["alive", "wear", "epoch"])
-def test_missing_core_column_still_rejected(tmp_path, v3_series, core):
-    path = write_v2_npz(tmp_path / "damaged.npz", v3_series, drop=(core,))
+def test_missing_core_column_still_rejected(tmp_path, live_series, core):
+    path = write_v2_npz(tmp_path / "damaged.npz", live_series, drop=(core,))
     with pytest.raises(ValueError, match=core):
         TimeSeries.load_npz(path)
