@@ -30,6 +30,15 @@ Stable public API (everything in ``__all__``):
     read_run_log       -- parse + schema-validate a run log back into records
     append_history     -- append a bench report to BENCH_history.jsonl
     compare_reports    -- throughput regression gate between two bench reports
+    DecisionRecorder   -- captures per-migration decision records (``--explain``)
+    read_decision_log  -- parse + schema-validate a decision log
+    query_decisions    -- filter decisions by chunk / osd / epoch / trigger / policy
+    attribution_summary-- per-policy fraction of moves each score term decided
+    write_span_events  -- dump a recording Tracer's span occurrences to JSONL
+    export_chrome_trace-- convert a span-event JSONL to Perfetto/Chrome JSON
+    MetricsRegistry    -- OpenMetrics text-exposition renderer
+    registry_from_metrics -- map a run's metrics dict onto a MetricsRegistry
+    MetricsSnapshotRecorder -- live ``.prom`` snapshots during a run
 """
 
 from edm.config import SimConfig, config_hash
@@ -37,19 +46,41 @@ from edm.endurance import EnduranceModel
 from edm.engine.core import simulate
 from edm.engine.kernels import available_kernels, resolve_kernel
 from edm.faults import FaultEvent, FaultPlan
-from edm.obs import RunLogWriter, Tracer, append_history, compare_reports, read_run_log
+from edm.obs import (
+    DecisionRecorder,
+    RunLogWriter,
+    Tracer,
+    append_history,
+    attribution_summary,
+    compare_reports,
+    export_chrome_trace,
+    query_decisions,
+    read_decision_log,
+    read_run_log,
+    write_span_events,
+)
 from edm.policies import resolve_policy
 from edm.service import ServiceModel
 from edm.spec import SpecError
 from edm.sweep import SweepResult, default_grid, sweep
-from edm.telemetry import Recorder, TimeSeries, TimeSeriesRecorder
+from edm.telemetry import (
+    MetricsRegistry,
+    MetricsSnapshotRecorder,
+    Recorder,
+    TimeSeries,
+    TimeSeriesRecorder,
+    registry_from_metrics,
+)
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
+    "DecisionRecorder",
     "EnduranceModel",
     "FaultEvent",
     "FaultPlan",
+    "MetricsRegistry",
+    "MetricsSnapshotRecorder",
     "ServiceModel",
     "SimConfig",
     "SpecError",
@@ -60,14 +91,20 @@ __all__ = [
     "TimeSeriesRecorder",
     "Tracer",
     "append_history",
+    "attribution_summary",
     "available_kernels",
     "compare_reports",
     "config_hash",
     "default_grid",
+    "export_chrome_trace",
+    "query_decisions",
+    "read_decision_log",
     "read_run_log",
+    "registry_from_metrics",
     "resolve_kernel",
     "resolve_policy",
     "simulate",
     "sweep",
+    "write_span_events",
     "__version__",
 ]

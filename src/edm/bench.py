@@ -31,6 +31,7 @@ from edm.engine.kernels import available_kernels, resolve_kernel
 from edm.obs import (
     DEFAULT_HISTORY,
     append_history,
+    baseline_from_history,
     compare_reports,
     configure_logging,
     get_logger,
@@ -215,7 +216,10 @@ def main(argv: list[str] | None = None) -> int:
         "--compare",
         default=None,
         metavar="BASELINE",
-        help="diff throughput against a previous report JSON; exit nonzero on regression",
+        help="diff throughput against a baseline; exit nonzero on regression.  "
+        "A .json path is a single report; a .jsonl path is a history file, "
+        "compared against its newest entry with this run's kernel backend "
+        "(never numpy-vs-numba) and quick/full mode",
     )
     ap.add_argument(
         "--max-regression",
@@ -276,7 +280,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.compare:
         try:
-            baseline = load_report(args.compare)
+            if Path(args.compare).suffix == ".jsonl":
+                baseline = baseline_from_history(
+                    args.compare, kernel=report["kernel"], quick=report["quick"]
+                )
+            else:
+                baseline = load_report(args.compare)
             regressions = compare_reports(report, baseline, args.max_regression)
         except (OSError, ValueError, json.JSONDecodeError) as e:
             log.error("cannot compare against %s: %s", args.compare, e)

@@ -18,10 +18,21 @@ from edm import report as report_mod
 from edm.cache import DEFAULT_CACHE_DIR
 from edm.config import KERNELS, POLICY_ALIASES, POLICIES, WORKLOADS, SimConfig
 from edm.engine.core import simulate
-from edm.obs import configure_logging, get_logger
+from edm.obs import NULL_TRACER, Tracer, configure_logging, get_logger
+from edm.obs.decisions import (
+    TRIGGERS,
+    DecisionRecorder,
+    attribution_summary,
+    format_attribution,
+    format_decision,
+    query_decisions,
+    read_decision_log,
+)
 from edm.obs.log import level_from_args
+from edm.obs.trace_export import export_chrome_trace, write_span_events
 from edm.policies import resolve_policy
 from edm.sweep import default_grid, sweep
+from edm.telemetry import MetricsSnapshotRecorder
 
 POLICY_CHOICES = (*POLICIES, *sorted(POLICY_ALIASES))
 
@@ -102,8 +113,39 @@ def cmd_run(args) -> int:
         service="" if args.service == "none" else args.service,
         **_overrides(args),
     )
-    metrics = simulate(cfg)
+    recorders = []
+    decisions = None
+    if args.explain is not None:
+        decisions = DecisionRecorder(path=args.explain or None)
+        recorders.append(decisions)
+    snapshot = None
+    if args.metrics_out:
+        snapshot = MetricsSnapshotRecorder(args.metrics_out)
+        recorders.append(snapshot)
+    tracer = Tracer(record_events=True) if args.trace else NULL_TRACER
+    metrics = simulate(cfg, recorders=tuple(recorders), tracer=tracer)
+    if tracer.enabled:
+        # Timings ride the trace file; the metrics JSON on stdout keeps the
+        # exact shape (and values) of an untraced run.
+        metrics.pop("timings", None)
+        n = write_span_events(tracer, args.trace, label=cfg.cache_name())
+        log.info("appended %d span events to %s", n, args.trace)
+    if snapshot is not None:
+        snapshot.write_final(metrics)
+        log.info("wrote OpenMetrics snapshot to %s", args.metrics_out)
     print(json.dumps(metrics, indent=2))
+    if decisions is not None:
+        # Opt-in diagnostics go to stderr; stdout stays parseable JSON.
+        print(
+            f"decision attribution ({decisions.total} decisions):\n"
+            + format_attribution(decisions.attribution()),
+            file=sys.stderr,
+        )
+        if decisions.path is not None:
+            log.info(
+                "decision log: %s (query with `python -m edm explain %s`)",
+                decisions.path, decisions.path,
+            )
     return 0
 
 
@@ -132,6 +174,7 @@ def cmd_sweep(args) -> int:
         run_log=args.run_log,
         progress=args.progress,
         stream=args.stream,
+        trace_events=args.trace,
     )
     for cfg, metrics in zip(grid, result.records):
         print(
@@ -147,6 +190,49 @@ def cmd_sweep(args) -> int:
         log.info("per-epoch series in %s/ (*.npz)", args.timeseries)
     if args.run_log:
         log.info("run log appended to %s", args.run_log)
+    if args.trace:
+        log.info(
+            "span events appended to %s (render with `python -m edm trace export %s`)",
+            args.trace, args.trace,
+        )
+    return 0
+
+
+def cmd_explain(args) -> int:
+    records = read_decision_log(args.log, strict=False)
+    if not records:
+        log.error("no valid decision records in %s", args.log)
+        return 1
+    matches = query_decisions(
+        records,
+        chunk=args.chunk,
+        osd=args.osd,
+        epoch=args.epoch,
+        trigger=args.trigger,
+        policy=args.policy,
+    )
+    if not args.summary:
+        shown = matches if args.limit <= 0 else matches[: args.limit]
+        for record in shown:
+            print(format_decision(record))
+        if len(matches) > len(shown):
+            print(f"# ... {len(matches) - len(shown)} more decisions (raise --limit)")
+    print(f"# {len(matches)} of {len(records)} decisions matched")
+    print(format_attribution(attribution_summary(matches)))
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    out = args.out if args.out else str(Path(args.events).with_suffix(".json"))
+    if Path(out).resolve() == Path(args.events).resolve():
+        log.error("output %s would overwrite the input; pass -o", out)
+        return 2
+    n = export_chrome_trace(args.events, out, strict=False)
+    if n == 0:
+        log.error("no span events in %s", args.events)
+        return 1
+    log.info("exported %d span events", n)
+    print(out)
     return 0
 
 
@@ -240,6 +326,30 @@ def main(argv: list[str] | None = None) -> int:
         help="service model, e.g. 'rate:800;queue:64' or 'rate:800;rate:400@0-3' "
         "('none' = no request-level timing)",
     )
+    run_p.add_argument(
+        "--explain",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="capture per-migration decision records (score decomposition per "
+        "destination pick) and print an attribution summary on stderr; with "
+        "PATH, also stream the records as JSONL for `edm explain`",
+    )
+    run_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append span-event JSONL (simulate phase timings) to PATH; render "
+        "with `edm trace export PATH`",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics as an OpenMetrics text snapshot "
+        "(Prometheus-compatible), updated live every 16 epochs",
+    )
     _add_engine_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -314,8 +424,67 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="CI smoke sizing: epochs=32, requests=1024 unless given explicitly",
     )
+    sweep_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append span-event JSONL (parent sweep stages + worker simulate "
+        "phases) to PATH; render with `edm trace export PATH`",
+    )
     _add_engine_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    explain_p = sub.add_parser(
+        "explain",
+        parents=[common],
+        help="query a decision log: why did each migration land where it did?",
+    )
+    explain_p.add_argument(
+        "log", help="decision JSONL written by `edm run --explain=PATH`"
+    )
+    explain_p.add_argument("--chunk", type=int, default=None, help="filter by chunk id")
+    explain_p.add_argument(
+        "--osd", type=int, default=None, help="filter by OSD (source or destination)"
+    )
+    explain_p.add_argument("--epoch", type=int, default=None, help="filter by epoch")
+    explain_p.add_argument(
+        "--trigger", choices=TRIGGERS, default=None, help="filter by trigger kind"
+    )
+    explain_p.add_argument("--policy", default=None, help="filter by policy name")
+    explain_p.add_argument(
+        "--summary",
+        action="store_true",
+        help="print only the attribution summary, no per-decision breakdowns",
+    )
+    explain_p.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="max per-decision breakdowns to print (<=0 = unlimited, default 20)",
+    )
+    explain_p.set_defaults(func=cmd_explain)
+
+    trace_p = sub.add_parser(
+        "trace", parents=[common], help="span timeline tools"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_export_p = trace_sub.add_parser(
+        "export",
+        parents=[common],
+        help="convert span-event JSONL into Chrome/Perfetto trace_event JSON",
+    )
+    trace_export_p.add_argument(
+        "events", help="span-event JSONL from `run --trace` / `sweep --trace`"
+    )
+    trace_export_p.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output trace JSON (default: the input path with a .json suffix); "
+        "open at https://ui.perfetto.dev or chrome://tracing",
+    )
+    trace_export_p.set_defaults(func=cmd_trace_export)
 
     report_p = sub.add_parser(
         "report",

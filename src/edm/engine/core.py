@@ -51,6 +51,7 @@ from edm.engine.kernels import make_kernel
 from edm.engine.metrics import MetricsAccumulator
 from edm.engine.state import ClusterState, init_state
 from edm.faults import FaultPlan, FaultRuntime, effective_load
+from edm.obs.decisions import Decision
 from edm.obs.trace import NULL_TRACER, Tracer
 from edm.policies import MigrationPolicy, get_policy
 from edm.service import ServiceModel, ServiceRuntime
@@ -125,7 +126,13 @@ def _supports_batch_destinations(policy: MigrationPolicy) -> bool:
     """
     scalar_owner = batch_owner = None
     for klass in type(policy).__mro__:
-        if scalar_owner is None and "pick_destination" in vars(klass):
+        # The effective scalar scoring is whichever of pick_destination /
+        # destination_terms sits deepest in the MRO: the base pick routes
+        # through destination_terms, so overriding only the terms changes
+        # the scalar scoring just as surely as overriding the pick itself.
+        if scalar_owner is None and (
+            "pick_destination" in vars(klass) or "destination_terms" in vars(klass)
+        ):
             scalar_owner = klass
         if batch_owner is None and "pick_destination_batch" in vars(klass):
             batch_owner = klass
@@ -207,8 +214,40 @@ def _assign_replacements_batched(
     return dsts
 
 
+def _assign_replacements_explained(
+    order: np.ndarray,
+    proj: np.ndarray,
+    alive_ids: np.ndarray,
+    policy: MigrationPolicy,
+    state: ClusterState,
+    cfg: SimConfig,
+    dead_osd: int,
+    emit,
+) -> np.ndarray:
+    """Sequential assignment that also reports each pick's score terms.
+
+    The explained re-placement path: picks through
+    ``explain_destination`` (the argmin of the same folded terms the plain
+    pick computes, so destinations are bit-identical to the loop -- and the
+    loop is pinned bit-identical to the batched path) and emits one decision
+    per re-placed chunk.
+    """
+    cap = state.osd_capacity
+    dsts = np.empty(order.size, dtype=np.int64)
+    for k, chunk in enumerate(order):
+        dst, terms, scores = policy.explain_destination(alive_ids, proj, state, cfg)
+        emit(int(chunk), int(dead_osd), dst, alive_ids, terms, scores)
+        dsts[k] = dst
+        proj[dst] += state.chunk_heat[chunk] / cap[dst]
+    return dsts
+
+
 def replace_dead_chunks(
-    state: ClusterState, dead_osd: int, policy: MigrationPolicy, cfg: SimConfig
+    state: ClusterState,
+    dead_osd: int,
+    policy: MigrationPolicy,
+    cfg: SimConfig,
+    emit=None,
 ) -> int:
     """Re-place every chunk of a failed OSD; returns how many moved.
 
@@ -223,7 +262,10 @@ def replace_dead_chunks(
     Built-in policies run through the batched greedy assignment (vectorized
     rounds, bit-identical to the per-chunk loop); policies overriding
     ``pick_destination`` without a matching ``pick_destination_batch`` use
-    the exact sequential reference path.
+    the exact sequential reference path.  With ``emit`` set (a decision
+    callback, see :mod:`edm.obs.decisions`), the burst runs the explained
+    sequential path instead -- same destinations, plus one decision record
+    per re-placed chunk.
     """
     chunks = np.flatnonzero(state.chunk_owner == dead_osd)
     if chunks.size == 0:
@@ -236,12 +278,17 @@ def replace_dead_chunks(
         )
     proj = effective_load(state.osd_load_ema, state.osd_capacity, state.osd_alive)
     order = chunks[np.argsort(-state.chunk_heat[chunks], kind="stable")]
-    assign = (
-        _assign_replacements_batched
-        if _supports_batch_destinations(policy)
-        else _assign_replacements_loop
-    )
-    dsts = assign(order, proj, alive_ids, policy, state, cfg)
+    if emit is not None:
+        dsts = _assign_replacements_explained(
+            order, proj, alive_ids, policy, state, cfg, dead_osd, emit
+        )
+    else:
+        assign = (
+            _assign_replacements_batched
+            if _supports_batch_destinations(policy)
+            else _assign_replacements_loop
+        )
+        dsts = assign(order, proj, alive_ids, policy, state, cfg)
     moves = np.column_stack((order, dsts))
     return apply_migrations(state, moves, cfg)
 
@@ -289,6 +336,39 @@ def simulate(
         kernel = make_kernel(cfg)
         acc = MetricsAccumulator(service=service)
         observers: tuple[Recorder, ...] = (acc, *recorders)
+        # Decision provenance is opt-in: only recorders that *override*
+        # on_decision flip selection/re-placement onto the explained path
+        # (bit-identical picks, see edm.obs.decisions); without one, both
+        # emitters stay None and every call site takes its historical branch.
+        decision_observers = tuple(
+            rec for rec in observers
+            if type(rec).on_decision is not Recorder.on_decision
+        )
+
+        def _decision_emitter(trigger: str):
+            if not decision_observers:
+                return None
+
+            def emit(chunk, src, dst, candidates, terms, scores):
+                decision = Decision(
+                    epoch=int(state.epoch),
+                    trigger=trigger,
+                    policy=cfg.policy,
+                    chunk=int(chunk),
+                    src=int(src),
+                    dst=int(dst),
+                    candidates=tuple(int(c) for c in candidates),
+                    terms={k: tuple(float(x) for x in v) for k, v in terms.items()},
+                    scores=tuple(float(s) for s in scores),
+                )
+                for rec in decision_observers:
+                    rec.on_decision(state, decision)
+
+            return emit
+
+        emit_threshold = _decision_emitter("threshold")
+        emit_fault = _decision_emitter("fault")
+        emit_wearout = _decision_emitter("wearout")
         for rec in observers:
             rec.on_run_start(cfg, state)
         stats = EpochStats()
@@ -301,7 +381,9 @@ def simulate(
                 for event in faults.step(state, epoch):
                     replaced = 0
                     if event.kind == "fail":
-                        replaced = replace_dead_chunks(state, event.osd, policy, cfg)
+                        replaced = replace_dead_chunks(
+                            state, event.osd, policy, cfg, emit=emit_fault
+                        )
                     for rec in observers:
                         rec.on_fault(state, event, replaced)
         if endurance is not None:
@@ -309,7 +391,9 @@ def simulate(
                 # Wear-outs ride the fault machinery: same batch re-placement
                 # through the active policy, same on_fault observer fan-out.
                 for event in endurance.step(state, epoch):
-                    replaced = replace_dead_chunks(state, event.osd, policy, cfg)
+                    replaced = replace_dead_chunks(
+                        state, event.osd, policy, cfg, emit=emit_wearout
+                    )
                     for rec in observers:
                         rec.on_fault(state, event, replaced)
         with tr.span("simulate.workload_gen"):
@@ -343,7 +427,10 @@ def simulate(
 
         if (epoch + 1) % cfg.migrate_interval == 0:
             with tr.span("simulate.migration"):
-                moves = policy.select(state, cfg)
+                if emit_threshold is None:
+                    moves = policy.select(state, cfg)
+                else:
+                    moves = policy.select_explained(state, cfg, emit_threshold)
                 applied = apply_migrations(state, moves, cfg)
                 for rec in observers:
                     rec.on_migration(state, applied, stats)

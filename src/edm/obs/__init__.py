@@ -5,9 +5,14 @@ Three pillars, all off the hot path by default:
 * :mod:`edm.obs.trace` -- :class:`Tracer` span timing (context manager +
   decorator, monotonic clocks, nested spans); :data:`NULL_TRACER` is the
   always-off default the engine and sweep instrument against.
+  :mod:`edm.obs.trace_export` turns recorded span events into
+  Chrome/Perfetto ``trace_event`` JSON timelines.
 * :mod:`edm.obs.runlog` -- JSONL run logs (:class:`RunLogWriter`,
   :func:`read_run_log`, :func:`validate_record`): one ``run_start``/``run_end``
   record per config emitted from inside workers, plus sweep-level records.
+* :mod:`edm.obs.decisions` -- migration decision provenance: per-pick score
+  decompositions captured by :class:`DecisionRecorder`, queried by
+  ``edm explain``.
 * :mod:`edm.obs.history` -- ``BENCH_history.jsonl`` perf trajectory
   (:func:`append_history`) and the ``--compare`` regression gate
   (:func:`compare_reports`).
@@ -16,10 +21,19 @@ Plus :mod:`edm.obs.log` (the package logger behind ``-v``/``--log-level``)
 and :mod:`edm.obs.progress` (the live sweep progress line).
 """
 
+from edm.obs.decisions import (
+    Decision,
+    DecisionRecorder,
+    attribution_summary,
+    query_decisions,
+    read_decision_log,
+    validate_decision,
+)
 from edm.obs.history import (
     DEFAULT_HISTORY,
     Regression,
     append_history,
+    baseline_from_history,
     compare_reports,
     git_sha,
     load_report,
@@ -28,25 +42,49 @@ from edm.obs.history import (
 from edm.obs.log import configure as configure_logging
 from edm.obs.log import get_logger
 from edm.obs.progress import ProgressLine
-from edm.obs.runlog import RunLogWriter, new_id, read_run_log, validate_record
+from edm.obs.runlog import (
+    RUNLOG_SCHEMA_VERSION,
+    RunLogWriter,
+    new_id,
+    read_run_log,
+    validate_record,
+)
 from edm.obs.trace import NULL_TRACER, NullTracer, Tracer
+from edm.obs.trace_export import (
+    export_chrome_trace,
+    read_span_events,
+    to_chrome_trace,
+    write_span_events,
+)
 
 __all__ = [
     "DEFAULT_HISTORY",
+    "Decision",
+    "DecisionRecorder",
     "NULL_TRACER",
     "NullTracer",
     "ProgressLine",
+    "RUNLOG_SCHEMA_VERSION",
     "Regression",
     "RunLogWriter",
     "Tracer",
     "append_history",
+    "attribution_summary",
+    "baseline_from_history",
     "compare_reports",
     "configure_logging",
+    "export_chrome_trace",
     "get_logger",
     "git_sha",
     "load_report",
     "new_id",
+    "query_decisions",
+    "read_decision_log",
     "read_run_log",
     "read_history",
+    "read_span_events",
+    "to_chrome_trace",
+    "validate_decision",
     "validate_record",
+    "write_span_events",
 ]

@@ -20,7 +20,10 @@ Throughput metrics compared (higher is better):
 
 Reports are only comparable like-for-like: a ``--quick`` report must be
 compared against a ``--quick`` baseline (grids differ otherwise), and
-:func:`compare_reports` refuses mismatched pairs.
+:func:`compare_reports` refuses mismatched pairs.  Kernel backends are
+like-for-like too: when the baseline comes out of a ``.jsonl`` history,
+:func:`baseline_from_history` picks the newest entry run on the *same*
+kernel backend as the current report, and errors clearly when none exists.
 """
 
 from __future__ import annotations
@@ -84,6 +87,43 @@ def read_history(path: str | os.PathLike = DEFAULT_HISTORY) -> list[dict]:
             if line:
                 entries.append(json.loads(line))
     return entries
+
+
+def baseline_from_history(
+    path: str | os.PathLike,
+    kernel: str,
+    quick: bool | None = None,
+) -> dict:
+    """Most recent history entry whose report ran the same kernel backend.
+
+    Gating a numba run against a numpy baseline (or vice versa) measures the
+    backend gap, not a regression -- so when ``bench --compare`` is pointed
+    at a ``.jsonl`` history instead of a single report, the baseline is the
+    newest entry matching this run's ``kernel`` (and, when ``quick`` is
+    given, its quick/full mode).  Raises ``ValueError`` with the backends
+    actually present when no same-backend entry exists, rather than silently
+    comparing across backends.
+    """
+    entries = read_history(path)
+    if not entries:
+        raise ValueError(f"history {path} is empty; nothing to compare against")
+    seen: set[str] = set()
+    for entry in reversed(entries):
+        report = entry.get("report")
+        if not isinstance(report, dict):
+            continue
+        entry_kernel = report.get("kernel", "unknown")
+        seen.add(entry_kernel)
+        if quick is not None and bool(report.get("quick")) != quick:
+            continue
+        if entry_kernel == kernel:
+            return report
+    mode = "" if quick is None else (" quick" if quick else " full")
+    raise ValueError(
+        f"history {path} has no{mode} entry for kernel {kernel!r} "
+        f"(backends present: {sorted(seen)}); append one with "
+        f"`python -m edm.bench --kernel {kernel} --append-history {path}`"
+    )
 
 
 def _dig(report: dict, dotted: str):

@@ -12,6 +12,9 @@ POSIX filesystems.
 Record schema (all records)::
 
     event      "sweep_start" | "sweep_end" | "run_start" | "run_end"
+    schema     record schema version (int, :data:`RUNLOG_SCHEMA_VERSION`);
+               readers reject records missing it and skip records stamped
+               newer than they understand (forward compatibility)
     ts         unix wall-clock seconds (float)
     sweep_id   hex id correlating every record of one sweep() call
     pid        writing process id
@@ -45,8 +48,14 @@ from pathlib import Path
 
 EVENTS = ("sweep_start", "sweep_end", "run_start", "run_end", "fault", "service")
 
+#: Bump when the record field set changes incompatibly.  Readers skip (or,
+#: in strict mode, reject) records stamped with a *newer* schema than they
+#: understand, so old tooling degrades by ignoring future records instead of
+#: misparsing them.  v2: the ``schema`` field itself became mandatory.
+RUNLOG_SCHEMA_VERSION = 2
+
 #: Fields every record must carry.
-BASE_FIELDS = ("event", "ts", "sweep_id", "pid")
+BASE_FIELDS = ("event", "schema", "ts", "sweep_id", "pid")
 #: Additional required fields per event type.
 EVENT_FIELDS = {
     "sweep_start": ("configs", "pending"),
@@ -97,6 +106,7 @@ class RunLogWriter:
             raise ValueError(f"unknown run-log event {event!r}, expected one of {EVENTS}")
         record = {
             "event": event,
+            "schema": RUNLOG_SCHEMA_VERSION,
             "ts": time.time(),
             "sweep_id": self.sweep_id,
             "pid": os.getpid(),
@@ -117,6 +127,15 @@ def validate_record(record: dict) -> list[str]:
     event = record.get("event")
     if event not in EVENTS:
         return [f"unknown event {event!r}"]
+    if "schema" in record:
+        schema = record["schema"]
+        if not isinstance(schema, int) or isinstance(schema, bool):
+            return [f"{event}: schema {schema!r} is not an int"]
+        if schema > RUNLOG_SCHEMA_VERSION:
+            return [
+                f"{event}: schema {schema} newer than supported "
+                f"{RUNLOG_SCHEMA_VERSION}"
+            ]
     for field in BASE_FIELDS + EVENT_FIELDS[event]:
         if field not in record:
             problems.append(f"{event}: missing field {field!r}")

@@ -28,6 +28,8 @@ Typical use::
 from __future__ import annotations
 
 import functools
+import os
+import threading
 import time
 from typing import Callable
 
@@ -74,16 +76,34 @@ class _Span:
         else:
             agg[0] += 1
             agg[1] += elapsed
+        if tr._events is not None:
+            tr._events.append((path, self._t0, elapsed))
 
 
 class Tracer:
-    """Aggregating span timer.  ``enabled`` is True for plain Tracers."""
+    """Aggregating span timer.  ``enabled`` is True for plain Tracers.
+
+    With ``record_events=True`` the tracer additionally keeps every span
+    *occurrence* -- (path, start, duration) -- not just the per-path
+    aggregate, anchored to the wall clock so timelines recorded in
+    different processes (sweep parent + workers) line up on one axis.
+    :meth:`events` serializes them for :mod:`edm.obs.trace_export`.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, record_events: bool = False) -> None:
         self._agg: dict[str, list] = {}   # path -> [count, total_seconds]
         self._stack: list[str] = []
+        self._events: list[tuple[str, float, float]] | None = (
+            [] if record_events else None
+        )
+        # One wall-clock anchor per tracer: perf_counter start times become
+        # absolute wall seconds as ``anchor + t0``, so cross-process events
+        # share a common (if NTP-grade) time axis.
+        self._wall_anchor = (
+            time.time() - time.perf_counter() if record_events else 0.0
+        )
 
     def span(self, name: str) -> _Span:
         """Context manager timing one named span (nests under the active span)."""
@@ -112,6 +132,39 @@ class Tracer:
         """Drop all aggregated spans (the nesting stack must be empty)."""
         self._agg.clear()
         self._stack.clear()
+        if self._events is not None:
+            self._events.clear()
+
+    @property
+    def records_events(self) -> bool:
+        """True when this tracer keeps individual span occurrences."""
+        return self._events is not None
+
+    def events(self) -> list[dict]:
+        """Recorded span occurrences as serializable records, start order.
+
+        Each record carries ``name`` (dotted span path), ``ts`` (wall-clock
+        start, seconds), ``dur`` (seconds), and the recording ``pid`` /
+        ``tid`` -- the exact line format :func:`edm.obs.trace_export.
+        write_span_events` streams and Perfetto export consumes.  Empty when
+        the tracer was built without ``record_events=True``.
+        """
+        if not self._events:
+            return []
+        pid = os.getpid()
+        tid = threading.get_ident()
+        out = [
+            {
+                "name": name,
+                "ts": self._wall_anchor + t0,
+                "dur": dur,
+                "pid": pid,
+                "tid": tid,
+            }
+            for name, t0, dur in self._events
+        ]
+        out.sort(key=lambda e: e["ts"])
+        return out
 
     def summary(self) -> dict[str, dict]:
         """Aggregated spans: ``{path: {count, total_s, mean_s}}``, insertion order."""

@@ -31,12 +31,57 @@ from edm.faults import effective_load
 EMPTY_MOVES = np.empty((0, 2), dtype=np.int64)
 
 
+def sum_terms(terms: dict[str, np.ndarray]) -> np.ndarray:
+    """Fold per-term score arrays into one total, strictly left to right.
+
+    The fold order is the dict's insertion order, so a policy whose historical
+    score was ``(a + b) + c`` reproduces that exact floating-point sequence by
+    returning ``{"a": ..., "b": ..., "c": ...}`` -- which is what keeps the
+    term decomposition and the destination pick bit-identical.
+    """
+    score = None
+    for term in terms.values():
+        score = term if score is None else score + term
+    return score
+
+
 class MigrationPolicy(ABC):
     name = "abstract"
 
     @abstractmethod
     def select(self, state: ClusterState, cfg: SimConfig) -> np.ndarray:
         """Return an int array (k, 2) of (chunk_id, dst_osd) moves."""
+
+    def select_explained(self, state: ClusterState, cfg: SimConfig, emit) -> np.ndarray:
+        """Like :meth:`select`, but report each destination pick via ``emit``.
+
+        ``emit(chunk, src, dst, candidates, terms, scores)`` is called once
+        per selected move with the per-term score decomposition (see
+        :meth:`destination_terms`) over the candidate set.  The moves
+        returned must be identical to a plain :meth:`select` call on the
+        same state -- explanation observes the pick, never changes it.  The
+        default covers policies without per-move scoring (baseline never
+        picks a destination during selection) by just selecting.
+        """
+        return self.select(state, cfg)
+
+    def destination_terms(
+        self,
+        candidates: np.ndarray,
+        proj_load: np.ndarray,
+        state: ClusterState,
+        cfg: SimConfig,
+    ) -> dict[str, np.ndarray]:
+        """Per-term destination score decomposition over ``candidates``.
+
+        Keys name the score terms, values are float arrays aligned with
+        ``candidates``; lower total is better and the total is folded
+        left-to-right over insertion order (see :func:`sum_terms`), so the
+        decomposition *defines* the scoring: :meth:`pick_destination` is the
+        argmin of the folded terms.  The default scores by projected load
+        alone -- the least-loaded candidate wins.
+        """
+        return {"load": proj_load[candidates]}
 
     def pick_destination(
         self,
@@ -50,9 +95,31 @@ class MigrationPolicy(ABC):
         Shared by interval selection *and* failure re-placement: when an OSD
         dies, the engine routes its chunks through the active policy's
         destination scoring, so even the no-migration baseline has a
-        well-defined answer here.
+        well-defined answer here.  The score is the left-to-right fold of
+        :meth:`destination_terms`, so the pick and its explanation can never
+        disagree.
         """
-        return int(candidates[np.argmin(proj_load[candidates])])
+        return int(candidates[np.argmin(sum_terms(
+            self.destination_terms(candidates, proj_load, state, cfg)
+        ))])
+
+    def explain_destination(
+        self,
+        candidates: np.ndarray,
+        proj_load: np.ndarray,
+        state: ClusterState,
+        cfg: SimConfig,
+    ) -> tuple[int, dict[str, np.ndarray], np.ndarray]:
+        """:meth:`pick_destination` plus its evidence.
+
+        Returns ``(dst, terms, scores)``: the winning OSD id, the per-term
+        decomposition over ``candidates``, and the folded total scores.  The
+        winner is the argmin of ``scores`` computed with the exact arithmetic
+        of :meth:`pick_destination`, so an explained pick is always the pick.
+        """
+        terms = self.destination_terms(candidates, proj_load, state, cfg)
+        scores = sum_terms(terms)
+        return int(candidates[np.argmin(scores)]), terms, scores
 
     def pick_destination_batch(
         self,
@@ -86,6 +153,12 @@ class ThresholdPolicy(MigrationPolicy):
         raise NotImplementedError
 
     def select(self, state: ClusterState, cfg: SimConfig) -> np.ndarray:
+        return self._select(state, cfg, emit=None)
+
+    def select_explained(self, state: ClusterState, cfg: SimConfig, emit) -> np.ndarray:
+        return self._select(state, cfg, emit=emit)
+
+    def _select(self, state: ClusterState, cfg: SimConfig, emit) -> np.ndarray:
         alive = state.osd_alive
         cap = state.osd_capacity
         if state.degraded:
@@ -119,7 +192,11 @@ class ThresholdPolicy(MigrationPolicy):
                 under = np.flatnonzero((proj < mean) & alive)
                 if under.size == 0:
                     break
-                dst = self.pick_destination(under, proj, state, cfg)
+                if emit is None:
+                    dst = self.pick_destination(under, proj, state, cfg)
+                    terms = scores = None
+                else:
+                    dst, terms, scores = self.explain_destination(under, proj, state, cfg)
                 heat = state.chunk_heat[chunk]
                 # A chunk's load lands scaled by the destination's capacity
                 # (cap == 1.0 everywhere on a healthy cluster, so these
@@ -128,6 +205,8 @@ class ThresholdPolicy(MigrationPolicy):
                 heat_dst = heat / cap[dst]
                 if proj[dst] + heat_dst >= proj[src]:
                     continue
+                if emit is not None:
+                    emit(int(chunk), int(src), dst, under, terms, scores)
                 moves.append((int(chunk), dst))
                 proj[src] -= heat / cap[src]
                 proj[dst] += heat_dst

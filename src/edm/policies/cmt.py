@@ -29,9 +29,15 @@ class CmtPolicy(ThresholdPolicy):
     def chunk_order(self, chunk_ids, state):
         return chunk_ids[np.argsort(-state.chunk_heat[chunk_ids])]
 
-    def pick_destination(self, candidates, proj_load, state, cfg):
+    def destination_terms(self, candidates, proj_load, state, cfg):
+        """CMT's blended score, decomposed: load + wear (+ wear-out risk).
+
+        The base class folds these left to right into the destination score
+        (the historical ``(load_norm + wear_term) + risk_term`` addition
+        order), so the scalar pick, the explained pick, and the batch replay
+        all score from this one definition.
+        """
         load = proj_load[candidates]
-        wear = state.osd_wear[candidates]
         # Normalize load, wear, and wear-out risk by *cluster-wide* scales
         # (mean over alive OSDs), never by the candidate subset: a drive's
         # score -- and hence the trade-off between the terms -- must not
@@ -40,10 +46,10 @@ class CmtPolicy(ThresholdPolicy):
         mean_load = proj_load[alive].mean() if alive.any() else 0.0
         load_norm = load / mean_load if mean_load > 0 else load
         wear_term, risk_term = self._static_score_terms(candidates, state, cfg)
-        score = load_norm + wear_term
+        terms = {"load": load_norm, "wear": wear_term}
         if risk_term is not None:
-            score = score + risk_term
-        return int(candidates[np.argmin(score)])
+            terms["wearout_risk"] = risk_term
+        return terms
 
     def pick_destination_batch(self, candidates, proj_rows, state, cfg):
         """Row-wise CMT scoring, bit-identical to the scalar pick.

@@ -47,10 +47,22 @@ from dataclasses import dataclass
 from itertools import product
 from pathlib import Path
 
+import logging
+
 from edm.cache import DEFAULT_CACHE_DIR, ResultCache
 from edm.config import POLICIES, WORKLOADS, SimConfig, config_hash, ENGINE_VERSION
 from edm.engine.core import simulate
-from edm.obs import NULL_TRACER, ProgressLine, RunLogWriter, Tracer, get_logger, new_id
+from edm.obs import (
+    NULL_TRACER,
+    ProgressLine,
+    RunLogWriter,
+    Tracer,
+    configure_logging,
+    get_logger,
+    new_id,
+    write_span_events,
+)
+from edm.obs.log import ROOT_LOGGER_NAME
 from edm.telemetry import Recorder, TimeSeriesRecorder
 
 __all__ = ["SUMMARY_KEYS", "SweepResult", "default_grid", "series_path", "sweep"]
@@ -143,6 +155,12 @@ class _Task:
     run_log: str | None
     sweep_id: str
     stream_cache_dir: str | None = None  # set => spill metrics here, return summary
+    trace_events: str | None = None  # set => append span-event JSONL here
+    # Parent's effective ``edm`` log level, re-applied inside the worker so
+    # -v/--log-level reaches worker diagnostics under *any* multiprocessing
+    # start method (spawn inherits nothing; fork inherits a handler bound to
+    # the parent's stderr object, which configure() rebinds).
+    log_level: int = logging.WARNING
 
 
 def _run_config(task: _Task) -> dict:
@@ -155,7 +173,9 @@ def _run_config(task: _Task) -> dict:
     ``run_end`` record -- cached metrics stay timing-free and therefore
     bit-identical across cold and warm sweeps.
     """
+    configure_logging(task.log_level)
     cfg = SimConfig.from_dict(task.cfg_dict)
+    log.debug("worker pid %d: simulating %s", os.getpid(), cfg.cache_name())
     ts_recorder = None
     recorders: tuple[Recorder, ...] = ()
     if task.ts_dir is not None:
@@ -164,10 +184,11 @@ def _run_config(task: _Task) -> dict:
 
     writer = run_id = None
     tracer = NULL_TRACER
+    if task.run_log is not None or task.trace_events is not None:
+        tracer = Tracer(record_events=task.trace_events is not None)
     if task.run_log is not None:
         writer = RunLogWriter(task.run_log, sweep_id=task.sweep_id)
         run_id = new_id()
-        tracer = Tracer()
         writer.emit(
             "run_start",
             run_id=run_id,
@@ -187,6 +208,12 @@ def _run_config(task: _Task) -> dict:
     if ts_recorder is not None:
         ts_recorder.series.save_npz(series_path(task.ts_dir, cfg))
 
+    # Any worker-side tracer strips its timings from the metrics before they
+    # are cached or returned: cached metrics stay timing-free and therefore
+    # bit-identical across traced, logged, and plain sweeps.
+    timings = metrics.pop("timings", {}) if tracer.enabled else {}
+    if task.trace_events is not None:
+        write_span_events(tracer, task.trace_events, label=cfg.cache_name())
     if writer is not None:
         if cfg.service:
             # One service record per serviced run: the tail-latency numbers
@@ -202,7 +229,6 @@ def _run_config(task: _Task) -> dict:
                 requests=int(metrics["service_requests_total"]),
                 dropped=int(metrics["service_dropped_total"]),
             )
-        timings = metrics.pop("timings", {})
         writer.emit(
             "run_end",
             run_id=run_id,
@@ -309,6 +335,7 @@ def sweep(
     progress: bool = False,
     tracer: Tracer | None = None,
     stream: bool = False,
+    trace_events: str | os.PathLike | None = None,
 ) -> SweepResult:
     """Run every config, returning results in the order given.
 
@@ -325,11 +352,18 @@ def sweep(
     ``stream=True`` keeps parent memory independent of grid size: workers
     spill full metrics into the cache and return slim summaries (see module
     docstring); requires ``use_cache``.
+    ``trace_events`` appends every span *occurrence* -- parent sweep stages
+    and worker simulate phases alike -- as JSONL to one file, convertible to
+    a Chrome/Perfetto timeline with ``edm trace export`` (see
+    :mod:`edm.obs.trace_export`).  Note cached configs never re-simulate, so
+    a warm sweep's timeline shows only the parent stages.
     """
     if stream and not use_cache:
         raise ValueError("stream=True requires use_cache=True (results live in the cache)")
     if tracer is not None:
         tr = tracer
+    elif trace_events is not None:
+        tr = Tracer(record_events=True)
     elif run_log is not None:
         tr = Tracer()
     else:
@@ -383,10 +417,12 @@ def sweep(
         ts_dir_arg = str(ts_dir) if ts_dir is not None else None
         run_log_arg = str(run_log) if run_log is not None else None
         stream_dir = str(cache_dir) if stream else None
+        trace_arg = str(trace_events) if trace_events is not None else None
+        level = logging.getLogger(ROOT_LOGGER_NAME).getEffectiveLevel()
         tasks = [
             _Task(
                 configs[i].to_dict(), ts_dir_arg, record_every, run_log_arg,
-                sweep_id, stream_dir,
+                sweep_id, stream_dir, trace_arg, level,
             )
             for i in pending
         ]
@@ -435,4 +471,6 @@ def sweep(
             simulated=result.simulated,
             timings=result.timings or {},
         )
+    if trace_events is not None:
+        write_span_events(tr, trace_events, label="sweep")
     return result

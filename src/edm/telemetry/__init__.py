@@ -6,13 +6,21 @@ The engine accepts any number of :class:`Recorder` observers; the built-in
 :mod:`edm.telemetry.plots` renders the figures (optional matplotlib).
 """
 
+from edm.telemetry.openmetrics import (
+    MetricsRegistry,
+    MetricsSnapshotRecorder,
+    registry_from_metrics,
+)
 from edm.telemetry.recorder import EpochStats, Recorder
 from edm.telemetry.timeseries import SERIES_FORMAT_VERSION, TimeSeries, TimeSeriesRecorder
 
 __all__ = [
     "EpochStats",
+    "MetricsRegistry",
+    "MetricsSnapshotRecorder",
     "Recorder",
     "SERIES_FORMAT_VERSION",
     "TimeSeries",
     "TimeSeriesRecorder",
+    "registry_from_metrics",
 ]

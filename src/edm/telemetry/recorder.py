@@ -8,6 +8,11 @@ four-call lifecycle:
                                     when a fault event fires (failure /
                                     slow-disk / hiccup), after any failure
                                     re-placement, before that epoch's routing
+    on_decision(state, decision)    per destination pick, when *any* recorder
+                                    overrides this hook (opt-in: overriding it
+                                    is what switches the engine onto the
+                                    explained selection path; see
+                                    edm.obs.decisions)
     on_epoch(state, load, stats)    every epoch, after routing/wear/EMA updates
                                     and *before* that epoch's migration round
     on_migration(state, applied, stats)
@@ -37,6 +42,7 @@ if TYPE_CHECKING:
     from edm.config import SimConfig
     from edm.engine.state import ClusterState
     from edm.faults import FaultEvent
+    from edm.obs.decisions import Decision
 
 
 @dataclass
@@ -66,6 +72,15 @@ class Recorder:
     def on_fault(self, state: "ClusterState", event: "FaultEvent", replaced: int) -> None:
         """Called when a fault event fires; ``replaced`` counts chunks
         re-placed off a failed OSD (0 for slow-disk / hiccup events)."""
+
+    def on_decision(self, state: "ClusterState", decision: "Decision") -> None:
+        """Called per destination pick with its score decomposition.
+
+        Opt-in: the engine detects recorders that *override* this hook and
+        only then routes selection and re-placement through the explained
+        (bit-identical) path; runs without such a recorder never pay for
+        decision capture.  See :mod:`edm.obs.decisions`.
+        """
 
     def on_epoch(self, state: "ClusterState", load: "np.ndarray", stats: EpochStats) -> None:
         """Called every epoch with that epoch's per-OSD load vector."""

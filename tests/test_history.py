@@ -5,15 +5,18 @@ import json
 import pytest
 
 from edm import bench as bench_mod
-from edm.obs import append_history, compare_reports, read_history
+from edm.obs import append_history, baseline_from_history, compare_reports, read_history
 from edm.obs.history import Regression, load_report
 
 
-def fake_report(cold_rps=1_000_000.0, single_rps=30_000_000.0, quick=False) -> dict:
+def fake_report(
+    cold_rps=1_000_000.0, single_rps=30_000_000.0, quick=False, kernel="numpy"
+) -> dict:
     """Minimal report with everything bench.main prints and compare gates on."""
     return {
         "edm_version": "0.3.0",
         "quick": quick,
+        "kernel": kernel,
         "sweep": {
             "configs": 64,
             "cold_seconds": 4.0,
@@ -115,6 +118,41 @@ def test_load_report_rejects_non_object(tmp_path):
         load_report(p)
 
 
+# --- kernel-matched baseline selection from history -------------------------
+
+
+def test_baseline_from_history_picks_newest_same_kernel(tmp_path):
+    hist = tmp_path / "hist.jsonl"
+    append_history(fake_report(cold_rps=1e6, kernel="numpy"), path=hist, sha="a")
+    append_history(fake_report(cold_rps=9e6, kernel="numba"), path=hist, sha="b")
+    append_history(fake_report(cold_rps=2e6, kernel="numpy"), path=hist, sha="c")
+    base = baseline_from_history(hist, kernel="numpy")
+    assert base["sweep"]["requests_per_sec_cold"] == 2e6  # newest numpy, not numba
+    assert baseline_from_history(hist, kernel="numba")["kernel"] == "numba"
+
+
+def test_baseline_from_history_filters_quick_mode(tmp_path):
+    hist = tmp_path / "hist.jsonl"
+    append_history(fake_report(cold_rps=1e6, quick=True), path=hist, sha="a")
+    append_history(fake_report(cold_rps=2e6, quick=False), path=hist, sha="b")
+    assert baseline_from_history(hist, kernel="numpy", quick=True)["quick"] is True
+    assert baseline_from_history(hist, kernel="numpy", quick=False)["quick"] is False
+
+
+def test_baseline_from_history_no_matching_kernel_lists_backends(tmp_path):
+    hist = tmp_path / "hist.jsonl"
+    append_history(fake_report(kernel="numpy"), path=hist, sha="a")
+    with pytest.raises(ValueError, match=r"no entry for kernel 'numba'.*numpy"):
+        baseline_from_history(hist, kernel="numba")
+
+
+def test_baseline_from_history_empty_history(tmp_path):
+    hist = tmp_path / "hist.jsonl"
+    hist.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        baseline_from_history(hist, kernel="numpy")
+
+
 # --- bench CLI wiring (run_bench monkeypatched: no real simulation) ---------
 
 
@@ -164,6 +202,39 @@ def test_bench_compare_zero_baseline_exits_2(tmp_path, patched_bench, caplog):
     baseline.write_text(json.dumps(fake_report(cold_rps=0.0)))
     rc = bench_mod.main(["--compare", str(baseline), "--out", str(tmp_path / "o.json")])
     assert rc == 2
+
+
+def test_bench_compare_against_history_picks_same_kernel_entry(
+    tmp_path, patched_bench, capsys
+):
+    """Satellite: a .jsonl --compare matches by kernel backend, so the numba
+    entry's 9x throughput never gates this numpy run."""
+    hist = tmp_path / "hist.jsonl"
+    append_history(fake_report(cold_rps=9e6, single_rps=3e8, kernel="numba"), path=hist)
+    append_history(fake_report(cold_rps=1_050_000.0, kernel="numpy"), path=hist)
+    rc = bench_mod.main(["--compare", str(hist), "--out", str(tmp_path / "o.json")])
+    assert rc == 0
+    assert "OK: throughput within" in capsys.readouterr().out
+
+
+def test_bench_compare_against_history_no_same_kernel_exits_2(tmp_path, patched_bench):
+    hist = tmp_path / "hist.jsonl"
+    append_history(fake_report(kernel="numba"), path=hist)
+    rc = bench_mod.main(["--compare", str(hist), "--out", str(tmp_path / "o.json")])
+    assert rc == 2
+
+
+def test_bench_compare_against_history_still_gates_regressions(
+    tmp_path, patched_bench
+):
+    hist = tmp_path / "hist.jsonl"
+    append_history(
+        fake_report(cold_rps=1_333_334.0, single_rps=4e7, kernel="numpy"), path=hist
+    )
+    rc = bench_mod.main(
+        ["--compare", str(hist), "--max-regression", "0.15", "--out", str(tmp_path / "o.json")]
+    )
+    assert rc == 1
 
 
 def test_bench_quick_defaults_to_quick_out(patched_bench):

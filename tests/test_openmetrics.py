@@ -1,0 +1,185 @@
+"""OpenMetrics exposition: registry rendering, metric mapping, live snapshots."""
+
+import json
+import math
+
+import pytest
+
+from conftest import cfg_factory
+from edm.cli import main
+from edm.engine.core import simulate
+from edm.telemetry import MetricsRegistry, MetricsSnapshotRecorder, registry_from_metrics
+from edm.telemetry.openmetrics import format_value
+
+
+# --- value / label formatting ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (3, "3"),
+        (3.0, "3"),
+        (0.25, "0.25"),
+        (float("nan"), "NaN"),
+        (float("inf"), "+Inf"),
+        (float("-inf"), "-Inf"),
+        (-1, "-1"),
+    ],
+)
+def test_format_value(value, expected):
+    assert format_value(value) == expected
+
+
+def test_render_basic_families():
+    reg = MetricsRegistry()
+    reg.gauge("load_cov", "Load CoV.")
+    reg.sample("load_cov", 0.25)
+    reg.counter("requests", "Requests routed.")
+    reg.sample("requests", 4096)
+    text = reg.render()
+    assert "# TYPE edm_load_cov gauge" in text
+    assert "# HELP edm_load_cov Load CoV." in text
+    assert "edm_load_cov 0.25" in text
+    # Counter samples carry the _total suffix; the family name does not.
+    assert "# TYPE edm_requests counter" in text
+    assert "edm_requests_total 4096" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_render_escapes_labels_and_help():
+    reg = MetricsRegistry(prefix="")
+    reg.gauge("g", 'help with "quotes"\nand newline')
+    reg.sample("g", 1, {"k": 'va"l\\ue\n'})
+    text = reg.render()
+    assert '# HELP g help with \\"quotes\\"\\nand newline' in text
+    assert 'g{k="va\\"l\\\\ue\\n"} 1' in text
+
+
+def test_registry_rejects_type_conflicts_and_undeclared_samples():
+    reg = MetricsRegistry()
+    reg.gauge("x", "a gauge")
+    with pytest.raises(ValueError, match="already declared"):
+        reg.counter("x", "now a counter?")
+    with pytest.raises(KeyError):
+        reg.sample("never_declared", 1)
+
+
+def test_set_replaces_matching_labels():
+    reg = MetricsRegistry()
+    reg.gauge("epoch", "h")
+    reg.set("epoch", 1)
+    reg.set("epoch", 2)
+    assert reg.render().count("\nedm_epoch ") == 1  # one sample line
+    assert "edm_epoch 2" in reg.render()
+
+
+# --- mapping a run's metrics dict --------------------------------------------
+
+
+def test_registry_from_metrics_healthy_run():
+    metrics = simulate(cfg_factory())
+    text = registry_from_metrics(metrics).render()
+    assert 'edm_run_info{workload="deasna",policy="cmt"' in text
+    assert f"edm_requests_total {metrics['total_requests']}" in text
+    assert "edm_load_cov_mean " in text
+    assert "edm_wear_spread " in text
+    # One wear sample per OSD.
+    assert text.count('edm_osd_wear{osd="') == metrics["num_osds"]
+    # Healthy, unrated, unserviced runs expose none of the conditional blocks.
+    assert "edm_fault_" not in text
+    assert "edm_remaining_life" not in text
+    assert "edm_service_" not in text
+    assert text.endswith("# EOF\n")
+
+
+def test_registry_from_metrics_faulted_endured_run():
+    metrics = simulate(cfg_factory(faults="fail:1@12", endurance="pe:2000"))
+    text = registry_from_metrics(metrics).render()
+    assert "edm_fault_failures_total 1" in text
+    assert "edm_replacement_moves_total " in text
+    assert "edm_remaining_life_min " in text
+    assert "edm_wearouts_total " in text
+    assert "edm_osds_alive " in text
+
+
+def test_sentinel_and_partial_metrics_pass_through():
+    # predicted_first_wearout_epoch uses -1 as its "none in sight" sentinel;
+    # the gauge carries it through as a plain number, not Inf, and mapping a
+    # partial dict only emits the families its keys cover.
+    text = registry_from_metrics({"predicted_first_wearout_epoch": -1}).render()
+    assert "edm_predicted_first_wearout_epoch -1" in text
+    assert "edm_load_cov_mean" not in text
+
+
+# --- live snapshot recorder --------------------------------------------------
+
+
+def test_snapshot_recorder_writes_periodically(tmp_path):
+    out = tmp_path / "live.prom"
+    rec = MetricsSnapshotRecorder(out, every=8)
+    cfg = cfg_factory(epochs=32)
+    metrics = simulate(cfg, recorders=(rec,))
+    # 32 epochs / every-8 = 4 periodic writes + 1 finalize write.
+    assert rec.snapshots == 5
+    text = out.read_text()
+    assert f"edm_epoch {cfg.epochs - 1}" in text
+    assert f"edm_requests_total {metrics['total_requests']}" in text
+    assert "edm_osds_alive 4" in text
+    assert text.endswith("# EOF\n")
+    # Attaching the recorder never perturbs the run.
+    assert metrics == simulate(cfg)
+
+
+def test_snapshot_recorder_rejects_bad_every(tmp_path):
+    with pytest.raises(ValueError, match="every"):
+        MetricsSnapshotRecorder(tmp_path / "x.prom", every=0)
+
+
+def test_write_final_replaces_live_snapshot(tmp_path):
+    out = tmp_path / "final.prom"
+    rec = MetricsSnapshotRecorder(out)
+    metrics = simulate(cfg_factory(), recorders=(rec,))
+    rec.write_final(metrics)
+    text = out.read_text()
+    assert "edm_run_info{" in text  # full end-of-run exposition
+    assert "edm_wear_spread " in text
+
+
+# --- CLI ---------------------------------------------------------------------
+
+
+def test_cli_run_metrics_out(tmp_path, capsys):
+    out = tmp_path / "metrics.prom"
+    assert (
+        main(
+            [
+                "run", "--workload", "deasna", "--osds", "4",
+                "--epochs", "8", "--requests", "128",
+                "--metrics-out", str(out),
+            ]
+        )
+        == 0
+    )
+    metrics = json.loads(capsys.readouterr().out)
+    text = out.read_text()
+    # The snapshot agrees with the metrics JSON the run printed.
+    assert f"edm_migrations_total {metrics['migrations_total']}" in text
+    assert f"edm_requests_total {metrics['total_requests']}" in text
+    for line in text.splitlines():
+        assert line.startswith("#") or line.split()[-1] not in ("",)
+    assert text.endswith("# EOF\n")
+
+
+def test_exposition_parses_line_by_line():
+    """Every non-comment line is `name{labels} value` with a finite-or-literal
+    value -- the shape Prometheus' text parser expects."""
+    metrics = simulate(cfg_factory(faults="fail:1@12", endurance="pe:2000"))
+    text = registry_from_metrics(metrics).render()
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        assert name_part
+        if value not in ("NaN", "+Inf", "-Inf"):
+            math.isfinite(float(value))

@@ -1,0 +1,101 @@
+"""Sweep progress line: ETA formatting, draw throttling, lifecycle edges."""
+
+import io
+
+import pytest
+
+from edm.obs.progress import ProgressLine, _fmt_eta
+
+
+# --- ETA formatting ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "seconds,expected",
+    [
+        (0, "00:00"),
+        (59, "00:59"),
+        (61, "01:01"),
+        (3599, "59:59"),
+        (3600, "1:00:00"),
+        (7322, "2:02:02"),
+        (float("inf"), "--:--"),
+        (float("nan"), "--:--"),
+        (-5, "--:--"),
+    ],
+)
+def test_fmt_eta(seconds, expected):
+    assert _fmt_eta(seconds) == expected
+
+
+# --- drawing -----------------------------------------------------------------
+
+
+def test_draws_progress_and_rate():
+    buf = io.StringIO()
+    line = ProgressLine(total=2, stream=buf, min_interval=0.0)
+    line.advance(requests=1000)
+    line.advance(requests=1000)
+    line.close()
+    out = buf.getvalue()
+    assert "[1/2]" in out and "[2/2]" in out
+    assert "req/s" in out and "eta" in out
+    assert out.startswith("\r")
+    assert out.endswith("\n")  # close() terminates the live line
+
+
+def test_final_advance_always_draws_despite_throttle():
+    buf = io.StringIO()
+    # A huge min_interval suppresses intermediate draws, but the last config
+    # landing must still render (and close() must newline after it).
+    line = ProgressLine(total=3, stream=buf, min_interval=3600.0)
+    line.advance()
+    line.advance()
+    assert "[2/3]" not in buf.getvalue()
+    line.advance()
+    line.close()
+    assert "[3/3]" in buf.getvalue()
+
+
+def test_disabled_line_writes_nothing():
+    buf = io.StringIO()
+    line = ProgressLine(total=5, enabled=False, stream=buf)
+    line.advance(requests=100)
+    line.close()
+    assert buf.getvalue() == ""
+
+
+def test_zero_total_disables_itself():
+    # A fully cache-hit sweep has nothing pending; the meter must be inert.
+    buf = io.StringIO()
+    line = ProgressLine(total=0, stream=buf)
+    line.close()
+    assert buf.getvalue() == ""
+    assert line.enabled is False
+
+
+def test_close_is_idempotent_after_interrupt():
+    # The sweep closes the meter in a finally: block, so an error path can
+    # close after a partial draw -- the terminating newline must appear
+    # exactly once however many times close() runs.
+    buf = io.StringIO()
+    line = ProgressLine(total=4, stream=buf, min_interval=0.0)
+    line.advance()
+    line.close()
+    line.close()
+    assert buf.getvalue().count("\n") == 1
+
+
+def test_close_before_any_advance_writes_nothing():
+    buf = io.StringIO()
+    line = ProgressLine(total=4, stream=buf)
+    line.close()
+    assert buf.getvalue() == ""
+
+
+def test_counts_accumulate():
+    line = ProgressLine(total=3, enabled=False)
+    line.advance(requests=10)
+    line.advance(requests=5)
+    assert line.done == 2
+    assert line.requests == 15

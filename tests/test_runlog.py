@@ -6,7 +6,7 @@ import os
 import pytest
 
 from edm.config import ENGINE_VERSION, config_hash
-from edm.obs import RunLogWriter, read_run_log, validate_record
+from edm.obs import RUNLOG_SCHEMA_VERSION, RunLogWriter, read_run_log, validate_record
 from edm.sweep import default_grid, sweep
 
 TINY = dict(epochs=16, requests_per_epoch=256, chunks_per_osd=8)
@@ -74,6 +74,47 @@ def test_validate_record_flags_missing_fields():
     assert any("timings" in p for p in problems)
     assert validate_record({"event": "nope"}) == ["unknown event 'nope'"]
     assert validate_record([1, 2]) == ["record is list, not dict"]
+
+
+def test_every_record_is_schema_stamped(tmp_path):
+    path = tmp_path / "log.jsonl"
+    w = RunLogWriter(path, sweep_id="s")
+    rec = w.emit("sweep_start", configs=1, pending=1)
+    assert rec["schema"] == RUNLOG_SCHEMA_VERSION
+    assert all(r["schema"] == RUNLOG_SCHEMA_VERSION for r in read_run_log(path))
+
+
+def test_validate_rejects_missing_or_bad_schema():
+    base = {"event": "sweep_start", "ts": 1.0, "sweep_id": "s", "pid": 1,
+            "configs": 1, "pending": 1}
+    assert any("schema" in p for p in validate_record(base))  # missing
+    assert validate_record({**base, "schema": RUNLOG_SCHEMA_VERSION}) == []
+    assert validate_record({**base, "schema": "2"}) == [
+        "sweep_start: schema '2' is not an int"
+    ]
+    assert validate_record({**base, "schema": True}) == [
+        "sweep_start: schema True is not an int"
+    ]
+
+
+def test_forward_compat_skips_newer_schema_records(tmp_path):
+    """A reader older than the writer skips records it cannot understand
+    instead of misparsing them -- and strict mode refuses them loudly."""
+    path = tmp_path / "log.jsonl"
+    w = RunLogWriter(path, sweep_id="s")
+    w.emit("sweep_start", configs=1, pending=1)
+    future = {**w.emit("sweep_start", configs=2, pending=2),
+              "schema": RUNLOG_SCHEMA_VERSION + 1,
+              "some_field_from_the_future": [1, 2, 3]}
+    with open(path, "a") as f:
+        f.write(json.dumps(future) + "\n")
+    assert any(
+        "newer than supported" in p for p in validate_record(future)
+    )
+    with pytest.raises(ValueError, match="newer than supported"):
+        read_run_log(path)
+    survivors = read_run_log(path, strict=False)
+    assert [r["configs"] for r in survivors] == [1, 2]
 
 
 def test_read_strict_raises_on_corrupt_line(tmp_path):

@@ -255,3 +255,24 @@ def test_sweep_timings_attached_when_traced(tmp_path):
     traced = sweep(grid, cache_dir=tmp_path / "b", workers=1, tracer=Tracer())
     assert traced.timings is not None
     assert "sweep.cache_probe" in traced.timings
+
+
+def test_worker_processes_inherit_parent_log_level(tmp_path, capfd):
+    """Satellite fix: -v/--log-level must reach the worker processes.  Each
+    worker reconfigures logging from the level the parent captured at task
+    build time, so DEBUG shows per-config worker lines and WARNING stays
+    silent -- under spawn as well as fork."""
+    import logging
+
+    from edm.obs import configure_logging
+
+    grid = tiny_grid()[:2]
+    try:
+        configure_logging(logging.DEBUG)
+        sweep(grid, cache_dir=tmp_path / "dbg", workers=2)
+        assert "worker pid" in capfd.readouterr().err
+        configure_logging(logging.WARNING)
+        sweep(grid, cache_dir=tmp_path / "quiet", workers=2)
+        assert "worker pid" not in capfd.readouterr().err
+    finally:
+        configure_logging(logging.WARNING)

@@ -1,0 +1,207 @@
+"""Span timeline export: event recording, JSONL round-trip, Perfetto JSON."""
+
+import json
+import os
+
+import pytest
+
+from conftest import cfg_factory
+from edm.cli import main
+from edm.engine.core import simulate
+from edm.obs import Tracer
+from edm.obs.trace_export import (
+    export_chrome_trace,
+    read_span_events,
+    to_chrome_trace,
+    validate_span_event,
+    write_span_events,
+)
+from edm.sweep import default_grid, sweep
+
+
+def nested_tracer():
+    tr = Tracer(record_events=True)
+    with tr.span("outer"):
+        with tr.span("inner"):
+            pass
+        with tr.span("inner"):
+            pass
+    return tr
+
+
+# --- Tracer event recording --------------------------------------------------
+
+
+def test_tracer_records_individual_occurrences():
+    tr = nested_tracer()
+    events = tr.events()
+    assert [e["name"] for e in events] == ["outer", "outer.inner", "outer.inner"]
+    assert all(e["pid"] == os.getpid() for e in events)
+    assert all(e["dur"] >= 0 for e in events)
+    # Start-ordered, and children start within the parent.
+    outer, in1, in2 = events
+    assert outer["ts"] <= in1["ts"] <= in2["ts"]
+    assert in2["ts"] + in2["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+    # Aggregation is unchanged by event recording.
+    assert tr.summary()["outer.inner"]["count"] == 2
+
+
+def test_tracer_without_recording_has_no_events():
+    tr = Tracer()
+    with tr.span("a"):
+        pass
+    assert tr.records_events is False
+    assert tr.events() == []
+
+
+def test_reset_clears_events():
+    tr = nested_tracer()
+    tr.reset()
+    assert tr.events() == []
+    assert tr.summary() == {}
+
+
+# --- JSONL round-trip --------------------------------------------------------
+
+
+def test_write_read_round_trip(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    n = write_span_events(nested_tracer(), path, label="runA")
+    assert n == 3
+    # Appends: a second batch lands in the same file.
+    write_span_events(nested_tracer(), path)
+    events = read_span_events(path)
+    assert len(events) == 6
+    assert all(validate_span_event(e) == [] for e in events)
+    assert {e.get("label") for e in events} == {"runA", None}
+
+
+def test_write_without_recording_is_a_noop(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    assert write_span_events(Tracer(), path) == 0
+    assert not path.exists()
+
+
+def test_read_strictness(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    write_span_events(nested_tracer(), path)
+    with open(path, "a") as f:
+        f.write("{broken\n")
+        f.write(json.dumps({"name": "x", "ts": "late", "dur": 1, "pid": 1, "tid": 1}) + "\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        read_span_events(path)
+    assert len(read_span_events(path, strict=False)) == 3
+
+
+def test_validate_span_event():
+    good = {"name": "a", "ts": 1.0, "dur": 0.5, "pid": 1, "tid": 2}
+    assert validate_span_event(good) == []
+    assert validate_span_event("x") == ["record is str, not dict"]
+    assert any("missing" in p for p in validate_span_event({"name": "a"}))
+    assert any("ts" in p for p in validate_span_event({**good, "ts": True}))
+    assert any("pid" in p for p in validate_span_event({**good, "pid": 1.5}))
+
+
+# --- Chrome trace conversion -------------------------------------------------
+
+
+def test_to_chrome_trace_shape(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    write_span_events(nested_tracer(), path, label="cfgA")
+    trace = to_chrome_trace(read_span_events(path))
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    ms = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert len(xs) == 3 and len(ms) == 1
+    for e in xs:
+        assert e["cat"] == "edm"
+        assert e["ts"] >= 0 and e["dur"] >= 0  # microseconds, rebased
+        assert e["args"]["label"] == "cfgA"
+    assert ms[0]["name"] == "process_name"
+    # Timestamps are rebased to the earliest event.
+    assert min(e["ts"] for e in xs) == 0
+
+
+def test_to_chrome_trace_empty():
+    assert to_chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+def test_chrome_trace_remaps_tids_per_process():
+    events = [
+        {"name": "a", "ts": 0.0, "dur": 1.0, "pid": 10, "tid": 123456789},
+        {"name": "b", "ts": 1.0, "dur": 1.0, "pid": 10, "tid": 123456789},
+        {"name": "c", "ts": 2.0, "dur": 1.0, "pid": 11, "tid": 987654321},
+    ]
+    xs = [e for e in to_chrome_trace(events)["traceEvents"] if e["ph"] == "X"]
+    assert [e["tid"] for e in xs] == [0, 0, 0]
+    assert {e["pid"] for e in xs} == {10, 11}
+
+
+# --- end-to-end: simulate / sweep / CLI --------------------------------------
+
+
+def test_traced_run_is_bit_identical_and_covers_simulate_phases():
+    cfg = cfg_factory()
+    plain = simulate(cfg)
+    tr = Tracer(record_events=True)
+    traced = simulate(cfg, tracer=tr)
+    timings = traced.pop("timings")
+    assert traced == plain
+    names = {e["name"] for e in tr.events()}
+    assert any(n.startswith("simulate.") for n in names)
+    assert set(timings) == names  # every aggregated path has its occurrences
+
+
+def test_sweep_trace_merges_parent_and_worker_events(tmp_path):
+    grid = default_grid(
+        workloads=("deasna",), osds=(4,), policies=("baseline", "cmt"), seeds=(1,),
+        epochs=8, requests_per_epoch=128, chunks_per_osd=8,
+    )
+    path = tmp_path / "spans.jsonl"
+    sweep(grid, cache_dir=tmp_path / "c", workers=2, trace_events=path)
+    events = read_span_events(path)
+    labels = {e.get("label") for e in events}
+    assert "sweep" in labels  # parent stages
+    assert {cfg.cache_name() for cfg in grid} <= labels  # one batch per config
+    pids = {e["pid"] for e in events}
+    assert os.getpid() in pids and len(pids) >= 2  # parent + workers
+    names = {e["name"] for e in events}
+    assert "sweep.cache_probe" in names
+    assert any(n.startswith("simulate.") for n in names)
+
+
+def test_cli_run_trace_then_export(tmp_path, capsys):
+    """Acceptance: the exported JSON is a valid trace_event document with
+    ph "X" events matching simulate's span names."""
+    spans = tmp_path / "spans.jsonl"
+    assert (
+        main(
+            [
+                "run", "--workload", "deasna", "--osds", "4",
+                "--epochs", "8", "--requests", "128",
+                "--trace", str(spans),
+            ]
+        )
+        == 0
+    )
+    metrics = json.loads(capsys.readouterr().out)
+    assert "timings" not in metrics  # stdout JSON keeps the untraced shape
+    assert main(["trace", "export", str(spans)]) == 0
+    out_path = capsys.readouterr().out.strip()
+    assert out_path.endswith(".json")
+    trace = json.load(open(out_path))
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert xs and all(set(e) >= {"name", "ph", "ts", "dur", "pid", "tid"} for e in xs)
+    assert any(e["name"].startswith("simulate.") for e in xs)
+
+
+def test_cli_trace_export_refuses_overwriting_input(tmp_path):
+    spans = tmp_path / "spans.json"
+    spans.write_text("")
+    assert main(["trace", "export", str(spans)]) == 2
+
+
+def test_cli_trace_export_empty_input_errors(tmp_path):
+    empty = tmp_path / "spans.jsonl"
+    empty.write_text("")
+    assert main(["trace", "export", str(empty), "-o", str(tmp_path / "o.json")]) == 1
