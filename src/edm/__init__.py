@@ -15,8 +15,11 @@ Stable public API (everything in ``__all__``):
     EnduranceModel     -- per-OSD rated P/E budgets parsed from an ``--endurance`` spec
     ServiceModel       -- per-OSD service rates + queue bound parsed from a
                           ``--service`` spec (``rate:800;queue:64``)
-    SpecError          -- what every spec grammar (faults / endurance / service)
-                          raises on a malformed or invalid spec string
+    TopologyPlan       -- elastic-cluster reshaping schedule parsed from a
+                          ``--topology`` spec (``add:4@128/cap:2;drain:0@192``)
+    SpecError          -- what every spec grammar (faults / endurance /
+                          service / topology) raises on a malformed or
+                          invalid spec string
     Recorder           -- observer protocol for per-epoch engine hooks
     TimeSeriesRecorder -- per-epoch series capture with downsampling
     TimeSeries         -- captured series + .npz/JSON/CSV exporters
@@ -71,8 +74,9 @@ from edm.telemetry import (
     TimeSeriesRecorder,
     registry_from_metrics,
 )
+from edm.topology import TopologyPlan
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "DecisionRecorder",
@@ -89,6 +93,7 @@ __all__ = [
     "RunLogWriter",
     "TimeSeries",
     "TimeSeriesRecorder",
+    "TopologyPlan",
     "Tracer",
     "append_history",
     "attribution_summary",

@@ -102,6 +102,18 @@ def _service_scenarios(spec: str) -> list[str]:
     return scenarios or [""]
 
 
+def _topology_scenarios(spec: str) -> list[str]:
+    """Split a ``|``-separated ``--topology`` value into plan specs.
+
+    Topology plans use both ``;`` (event separator) and ``,`` (device-class
+    attributes) internally, so the grid-axis separator is ``|``; ``none``
+    (or an empty entry) names the static cluster.
+    """
+    parts = [p.strip() for p in spec.split("|") if p.strip()]
+    scenarios = [("" if p == "none" else p) for p in parts]
+    return scenarios or [""]
+
+
 def cmd_run(args) -> int:
     cfg = SimConfig(
         workload=args.workload,
@@ -111,6 +123,7 @@ def cmd_run(args) -> int:
         faults="" if args.faults == "none" else args.faults,
         endurance="" if args.endurance == "none" else args.endurance,
         service="" if args.service == "none" else args.service,
+        topology="" if args.topology == "none" else args.topology,
         **_overrides(args),
     )
     recorders = []
@@ -161,6 +174,7 @@ def cmd_sweep(args) -> int:
         faults=_fault_scenarios(args.faults),
         endurance=_endurance_scenarios(args.endurance),
         service=_service_scenarios(args.service),
+        topology=_topology_scenarios(args.topology),
         **_overrides(args),
     )
     result = sweep(
@@ -327,6 +341,13 @@ def main(argv: list[str] | None = None) -> int:
         "('none' = no request-level timing)",
     )
     run_p.add_argument(
+        "--topology",
+        default="",
+        metavar="SPEC",
+        help="topology plan, e.g. 'add:4@128/cap:2,rate:1600;drain:0@192' "
+        "('none' = static cluster)",
+    )
+    run_p.add_argument(
         "--explain",
         nargs="?",
         const="",
@@ -418,6 +439,14 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated service models as an extra grid axis "
         "(clauses within a model join with ';'; 'none' = no request-level "
         "timing), e.g. 'none,rate:800;queue:64'",
+    )
+    sweep_p.add_argument(
+        "--topology",
+        default="",
+        metavar="SPECS",
+        help="'|'-separated topology plans as an extra grid axis (plans use "
+        "';' and ',' internally; 'none' = static cluster), e.g. "
+        "'none|add:4@128/cap:2,rate:1600;drain:0@192'",
     )
     sweep_p.add_argument(
         "--quick",

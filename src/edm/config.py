@@ -50,6 +50,7 @@ SEED_EXCLUDED_FIELDS = (
     "service",
     "service_migration_cost",
     "service_cooldown_epochs",
+    "topology",
 )
 
 # Fields excluded from the *result* content hash.  The kernel backend is an
@@ -141,6 +142,16 @@ class SimConfig:
     service_migration_cost: float = 64.0
     service_cooldown_epochs: int = 8
 
+    # Topology plan: empty string = static cluster.  Parsed and canonicalized
+    # by edm.topology.spec (e.g. "add:4@128/cap:2,rate:1600,pe:10000" or
+    # "drain:2@64"); scale-out grows the cluster at epoch boundaries with
+    # cold drives of the given device class, drain evacuates and retires an
+    # OSD through the policy's destination scoring.  Like ``faults``, the
+    # spec never feeds the workload RNG: the chunk set -- and therefore the
+    # traffic -- is fixed at the initial cluster size, so an elastic run
+    # replays exactly the static run's request stream.
+    topology: str = ""
+
     # Epoch-kernel backend: "numpy" (default fused NumPy kernel), "numba"
     # (optional JIT, requires the [jit] extra), or "auto" (numba if
     # importable).  Backends are bit-identical, so this field keys neither
@@ -208,6 +219,26 @@ class SimConfig:
 
             svc = ServiceModel.parse(self.service, num_osds=self.num_osds)
             object.__setattr__(self, "service", svc.spec)
+        if self.topology:
+            from edm.spec import SpecError
+            from edm.topology import TopologyPlan
+
+            plan = TopologyPlan.parse(self.topology, num_osds=self.num_osds)
+            object.__setattr__(self, "topology", plan.spec)
+            if self.service:
+                from edm.service import ServiceModel
+
+                svc = ServiceModel.parse(self.service)
+                if svc.default_rate is None:
+                    for ev in plan.adds:
+                        if ev.rate is None:
+                            raise SpecError(
+                                f"topology event {ev.render()!r} adds OSDs "
+                                f"with no service rate, and service spec "
+                                f"{self.service!r} has no default rate band; "
+                                f"give the add a 'rate:' attribute or add a "
+                                f"default rate"
+                            )
 
     @property
     def num_chunks(self) -> int:
@@ -224,10 +255,11 @@ class SimConfig:
         """Filename stem matching the historical .repro-cache key format.
 
         Fault scenarios append a short spec digest (``-f1a2b3c4``),
-        endurance models another (``-e5d6e7f8``), and service models a third
-        (``-q9a8b7c6``) so the same base config under different scenarios
-        never collides on filename; healthy, unrated, unserviced configs
-        keep the historical stem byte-for-byte.
+        endurance models another (``-e5d6e7f8``), service models a third
+        (``-q9a8b7c6``), and topology plans a fourth (``-t0d1e2f3``) so the
+        same base config under different scenarios never collides on
+        filename; healthy, unrated, unserviced, static configs keep the
+        historical stem byte-for-byte.
         """
         stem = f"{self.workload}-{self.num_osds}osd-{self.policy}-s{self.skew:g}-r{self.seed}"
         if self.faults:
@@ -236,6 +268,8 @@ class SimConfig:
             stem += f"-e{hashlib.sha256(self.endurance.encode()).hexdigest()[:8]}"
         if self.service:
             stem += f"-q{hashlib.sha256(self.service.encode()).hexdigest()[:8]}"
+        if self.topology:
+            stem += f"-t{hashlib.sha256(self.topology.encode()).hexdigest()[:8]}"
         return stem
 
 
@@ -243,11 +277,24 @@ def config_hash(cfg: SimConfig) -> str:
     """Stable content hash of a config plus the engine version.
 
     Excludes :data:`HASH_EXCLUDED_FIELDS` (the kernel backend): fields that
-    cannot change results must not fragment or invalidate the cache.
+    cannot change results must not fragment or invalidate the cache.  An
+    *empty* ``topology`` is likewise dropped from the payload: a static
+    config computes bit-identical metrics with or without the field, so
+    introducing it must not invalidate any pre-existing cache entry.
+
+    ``service_metrics_rev`` re-keys only serviced configs: revision 2 fixed
+    the degraded-mode queue-depth aggregates (dead OSDs no longer counted as
+    permanent zeros) and gave the latency histogram a dedicated overflow
+    bin, so serviced cache entries written by the old accounting are never
+    returned; unserviced configs are untouched.
     """
     payload = {"engine_version": ENGINE_VERSION, **cfg.to_dict()}
     for field_name in HASH_EXCLUDED_FIELDS:
         payload.pop(field_name, None)
+    if not payload.get("topology"):
+        payload.pop("topology", None)
+    if payload.get("service"):
+        payload["service_metrics_rev"] = 2
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
     return hashlib.sha256(blob).hexdigest()
 

@@ -26,6 +26,18 @@ per-OSD wear-rate EWMA behind CMT's predicted-wear-out destination term.
 Unrated configs skip this path entirely and stay bit-identical to the
 endurance-unaware engine.
 
+With a topology plan configured (``cfg.topology``), the cluster is elastic:
+the :class:`~edm.topology.TopologyRuntime` steps first at each epoch
+boundary (before faults and endurance, so both see the grown arrays).
+``add`` events append cold drives of the event's device class -- zero wear,
+zero load, per-band capacity / service rate / rated P/E -- and the kernel's
+per-OSD scratch is resized once per event; ``drain`` events gracefully
+evacuate the target's chunks through the active policy's destination
+scoring (trigger ``"drain"`` in decision provenance) and then retire it,
+with no lost queue work.  Every fired event fans out to recorders via
+``on_topology``.  Static configs skip this path entirely and stay
+bit-identical to the topology-unaware engine.
+
 With a service model configured (``cfg.service``), every OSD additionally
 carries a service rate and a bounded queue: after each kernel call the
 :class:`~edm.service.ServiceRuntime` steps the per-OSD queue recursion
@@ -56,6 +68,7 @@ from edm.obs.trace import NULL_TRACER, Tracer
 from edm.policies import MigrationPolicy, get_policy
 from edm.service import ServiceModel, ServiceRuntime
 from edm.telemetry.recorder import EpochStats, Recorder
+from edm.topology import TopologyPlan, TopologyRuntime
 from edm.workloads import make_workload
 
 
@@ -249,7 +262,7 @@ def replace_dead_chunks(
     cfg: SimConfig,
     emit=None,
 ) -> int:
-    """Re-place every chunk of a failed OSD; returns how many moved.
+    """Re-place every chunk of a failed (or draining) OSD; returns how many moved.
 
     Destinations come from the active policy's ``pick_destination`` scoring
     over the surviving OSDs (so CMT steers the re-placement burst toward
@@ -270,11 +283,14 @@ def replace_dead_chunks(
     chunks = np.flatnonzero(state.chunk_owner == dead_osd)
     if chunks.size == 0:
         return 0
-    alive_ids = np.flatnonzero(state.osd_alive)
+    # Draining OSDs are migration sources only -- a drive being evacuated
+    # (including ``dead_osd`` itself during a drain, still alive at this
+    # point) never receives re-placed chunks.
+    alive_ids = np.flatnonzero(state.osd_alive & ~state.osd_draining)
     if alive_ids.size == 0:
         raise RuntimeError(
-            f"OSD {dead_osd} failed but no OSD survives to take its "
-            f"{chunks.size} chunks"
+            f"OSD {dead_osd} left the cluster but no OSD survives to take "
+            f"its {chunks.size} chunks"
         )
     proj = effective_load(state.osd_load_ema, state.osd_capacity, state.osd_alive)
     order = chunks[np.argsort(-state.chunk_heat[chunks], kind="stable")]
@@ -333,6 +349,12 @@ def simulate(
         service = ServiceRuntime(svc_model, cfg) if svc_model else None
         if service is not None:
             service.attach(state)
+        topo_plan = TopologyPlan.parse(cfg.topology, num_osds=cfg.num_osds)
+        topology = (
+            TopologyRuntime(topo_plan, service=svc_model, endurance=model)
+            if topo_plan
+            else None
+        )
         kernel = make_kernel(cfg)
         acc = MetricsAccumulator(service=service)
         observers: tuple[Recorder, ...] = (acc, *recorders)
@@ -369,6 +391,7 @@ def simulate(
         emit_threshold = _decision_emitter("threshold")
         emit_fault = _decision_emitter("fault")
         emit_wearout = _decision_emitter("wearout")
+        emit_drain = _decision_emitter("drain")
         for rec in observers:
             rec.on_run_start(cfg, state)
         stats = EpochStats()
@@ -376,6 +399,23 @@ def simulate(
     load = np.zeros(cfg.num_osds)
     for epoch in range(cfg.epochs):
         state.epoch = epoch
+        if topology is not None:
+            with tr.span("simulate.topology"):
+                # Topology steps first so faults/endurance/service all see
+                # the grown (or drained) cluster this epoch.
+                for event in topology.step(state, epoch):
+                    moved = 0
+                    if event.kind == "add":
+                        kernel.resize(state.num_osds)
+                        if endurance is not None:
+                            endurance.grow(state)
+                    else:  # drain: evacuate gracefully, then retire
+                        moved = replace_dead_chunks(
+                            state, event.osd, policy, cfg, emit=emit_drain
+                        )
+                        topology.retire(state, event.osd)
+                    for rec in observers:
+                        rec.on_topology(state, event, moved)
         if faults is not None:
             with tr.span("simulate.faults"):
                 for event in faults.step(state, epoch):

@@ -102,6 +102,15 @@ class EpochKernel:
         self.num_osds = cfg.num_osds
         self._scratch_c = np.empty(cfg.num_chunks)
 
+    def resize(self, num_osds: int) -> None:
+        """Re-size the per-OSD buffers after a topology scale-out event.
+
+        The chunk-axis scratch is untouched (the chunk set never grows);
+        backends with preallocated OSD-axis buffers must override and
+        reallocate them.  Called between epochs only, never mid-update.
+        """
+        self.num_osds = num_osds
+
     def epoch_update(
         self, state: "ClusterState", counts: np.ndarray, writes: np.ndarray
     ) -> np.ndarray:
@@ -212,6 +221,11 @@ class NumbaKernel(EpochKernel):
         self._step = _build_numba_step()
         self._load = np.zeros(cfg.num_osds)
         self._wear_inc = np.zeros(cfg.num_osds)
+
+    def resize(self, num_osds: int) -> None:
+        super().resize(num_osds)
+        self._load = np.zeros(num_osds)
+        self._wear_inc = np.zeros(num_osds)
 
     def epoch_update(self, state, counts, writes):
         self._step(

@@ -12,6 +12,9 @@ Paper metrics:
   * service (serviced configs only) -- p50/p99/p999 request latency,
     queue-depth aggregates, and migration-induced latency-spike stats,
     accumulated by :class:`edm.service.ServiceRuntime` and merged here.
+  * topology (elastic configs only) -- add/drain event counts, drain
+    evacuation moves, and cold-drive wear uptake / final load share for
+    the drives scale-out added.
 
 ``MetricsAccumulator`` is the engine's always-on :class:`~edm.telemetry.Recorder`:
 it rides the same observer hooks as user-supplied telemetry, and its
@@ -55,7 +58,8 @@ class MetricsAccumulator(Recorder):
         # per flush (same per-row arithmetic as the scalar calls, summed in
         # the same left-to-right order via cumsum, so the result is
         # bit-identical -- pinned by tests).  Faulted runs keep the scalar
-        # path: on_fault reads the running CoV mean mid-run.
+        # path: on_fault reads the running CoV mean mid-run.  Elastic runs
+        # do too: the block buffer's OSD width is fixed at allocation.
         self._load_hist = np.empty((min(_COV_BLOCK, max(cfg.epochs, 1)), state.num_osds))
         self._hist_fill = 0
         # Degraded-mode tracking (only exercised when cfg.faults is set, so
@@ -73,6 +77,24 @@ class MetricsAccumulator(Recorder):
         self._wearouts = 0
         self._wearout_replaced = 0
         self._first_wearout_epoch = -1
+        # Topology tracking (only surfaced when cfg.topology is set).
+        self._topology = bool(cfg.topology)
+        self._osds_added = 0
+        self._osds_drained = 0
+        self._drain_moves = 0
+        self._cold_ids: list[int] = []
+
+    def on_topology(self, state: ClusterState, event, moved: int) -> None:
+        if event.kind == "add":
+            self._osds_added += event.count
+            # The hook fires after growth: the newest ``count`` ids are the
+            # cold drives this event added.
+            self._cold_ids.extend(
+                range(state.num_osds - event.count, state.num_osds)
+            )
+        else:
+            self._osds_drained += 1
+            self._drain_moves += moved
 
     def on_fault(self, state: ClusterState, event, replaced: int) -> None:
         if event.kind == "wearout":
@@ -92,7 +114,9 @@ class MetricsAccumulator(Recorder):
             self._recovery_epochs = -1
 
     def on_epoch(self, state: ClusterState, load: np.ndarray, stats: EpochStats) -> None:
-        if self._faulted:
+        if self._faulted or self._topology:
+            # Scalar path: faulted runs read the running CoV mean mid-run,
+            # elastic runs outgrow the fixed-width block buffer.
             mean = load.mean()
             if mean > 0:
                 self._cov_sum += float(load.std() / mean)
@@ -210,6 +234,31 @@ class MetricsAccumulator(Recorder):
             out["wearouts_total"] = int(self._wearouts)
             out["first_wearout_epoch"] = int(self._first_wearout_epoch)
             out["wearout_replacements_total"] = int(self._wearout_replaced)
+            out["osds_alive_final"] = int(alive.sum())
+        if self._topology:
+            # Topology metrics, present only for elastic configs so static
+            # metrics dicts stay bit-identical to the topology-unaware
+            # engine.  "Cold" drives are the ones scale-out added: their
+            # wear uptake and final load share quantify how hard policies
+            # lean on fresh low-wear capacity.
+            alive = state.osd_alive
+            out["topology"] = cfg.topology
+            out["osds_total_final"] = int(state.num_osds)
+            out["osds_added_total"] = int(self._osds_added)
+            out["osds_drained_total"] = int(self._osds_drained)
+            out["drain_moves_total"] = int(self._drain_moves)
+            out["load_cov_alive_mean"] = self._cov_alive_sum / epochs
+            cold = np.asarray(self._cold_ids, dtype=np.int64)
+            if cold.size:
+                cw = wear[cold]
+                out["cold_wear_mean"] = float(cw.mean())
+                out["cold_wear_max"] = float(cw.max())
+                total_load = float(final_load.sum())
+                out["cold_load_share_final"] = (
+                    float(final_load[cold].sum()) / total_load
+                    if total_load > 0
+                    else 0.0
+                )
             out["osds_alive_final"] = int(alive.sum())
         if self._service is not None:
             # Service metrics (tail latency, queue depth, migration spikes),

@@ -22,7 +22,9 @@ class ClusterState:
     chunk_owner: np.ndarray          # int32 [C], OSD id owning each chunk
     chunk_heat: np.ndarray           # float64 [C], EMA of access counts
     chunk_write_heat: np.ndarray     # float64 [C], EMA of write counts
-    chunk_last_migrated: np.ndarray  # int64 [C], epoch of last migration (-inf sentinel)
+    chunk_last_migrated: np.ndarray  # int64 [C], epoch of last migration
+    #   (never-migrated sentinel -(10**9): far enough in the past that every
+    #   chunk clears any cooldown window at epoch 0 without int64 overflow)
     # Per-OSD
     osd_wear: np.ndarray             # float64 [N], cumulative erase-count units
     osd_load_ema: np.ndarray         # float64 [N], EMA of per-epoch load
@@ -37,6 +39,9 @@ class ClusterState:
     osd_service_rate: np.ndarray = None  # float64 [N], requests/epoch at full capacity
     osd_queue_depth: np.ndarray = None   # float64 [N], backlog carried across epochs
     osd_mig_backlog: np.ndarray = None   # float64 [N], pending migration work (request-equivalents)
+    # Topology state (static defaults filled in by __post_init__; N grows at
+    # scale-out events, every per-OSD array above growing in lockstep)
+    osd_draining: np.ndarray = None  # bool [N], True once a drain marked the OSD source-only
     degraded: bool = False           # True while any OSD is dead or off-nominal
     epoch: int = 0
     migrations_total: int = 0
@@ -56,6 +61,8 @@ class ClusterState:
             self.osd_queue_depth = np.zeros(self.num_osds)
         if self.osd_mig_backlog is None:
             self.osd_mig_backlog = np.zeros(self.num_osds)
+        if self.osd_draining is None:
+            self.osd_draining = np.zeros(self.num_osds, dtype=bool)
 
     def validate(self) -> None:
         """Cheap invariant check: every chunk owned by exactly one valid OSD."""
@@ -91,6 +98,19 @@ class ClusterState:
             raise AssertionError("osd_mig_backlog went negative or NaN")
         if (self.osd_service_rate <= 0).any():
             raise AssertionError("osd_service_rate contains non-positive rates")
+        # Growth invariant: every per-OSD array tracks num_osds in lockstep
+        # (scale-out grows them all or none).
+        if self.osd_draining.shape != (self.num_osds,):
+            raise AssertionError("osd_draining shape drifted")
+        if self.osd_service_rate.shape != (self.num_osds,) or self.osd_wear.shape != (
+            self.num_osds,
+        ) or self.osd_load_ema.shape != (self.num_osds,):
+            raise AssertionError("per-OSD array widths drifted from num_osds")
+        if (self.osd_draining & self.osd_alive & (self.osd_capacity > 0)).any():
+            # A marked OSD should have been evacuated and retired within its
+            # drain epoch; surviving the boundary means the engine skipped
+            # the retire step.
+            raise AssertionError("draining OSD survived its drain epoch un-retired")
 
     def eligible_mask(self, cfg: SimConfig) -> np.ndarray:
         """Chunks past their migration cooldown window."""

@@ -67,7 +67,17 @@ class FaultRuntime:
         events, in the plan's canonical order -- fully deterministic.
         """
         if self._base is None:
-            self._base = np.ones(state.num_osds)
+            # Base capacity is whatever the cluster starts (or has grown)
+            # with -- all ones for a homogeneous cluster, the device-class
+            # factors under a heterogeneous topology plan -- so a later
+            # recompute never resets an added band to nominal.
+            self._base = state.osd_capacity.astype(np.float64).copy()
+        elif self._base.size < state.num_osds:
+            # Topology scale-out since the last step: adopt the new drives'
+            # device-class capacity as their base.
+            self._base = np.concatenate(
+                [self._base, state.osd_capacity[self._base.size :]]
+            )
         changed = False
         for ev in self._ends.pop(epoch, []):
             self._active_hiccups.remove(ev)

@@ -4,7 +4,8 @@ EDM's core claim is that CMT's blended load/wear scoring picks *better*
 destinations than pure load balancing.  Aggregate outcomes (CoVs, wear
 spread) show *that* it wins; this module records *why*: one
 :class:`Decision` per destination pick -- interval migration, failure
-re-placement, or wear-out re-placement -- carrying the winning OSD's
+re-placement, wear-out re-placement, or drain evacuation -- carrying the
+winning OSD's
 per-term score decomposition (CMT: load, wear, wear-out risk; the other
 policies: projected load) and the full losing candidate set with scores.
 
@@ -38,7 +39,7 @@ from edm.telemetry.recorder import Recorder
 DECISION_SCHEMA_VERSION = 1
 
 #: What drove a destination pick.
-TRIGGERS = ("threshold", "fault", "wearout")
+TRIGGERS = ("threshold", "fault", "wearout", "drain")
 
 #: Fields every serialized decision record must carry.
 DECISION_FIELDS = (
@@ -66,7 +67,7 @@ class Decision:
     """
 
     epoch: int
-    trigger: str  # "threshold" | "fault" | "wearout"
+    trigger: str  # "threshold" | "fault" | "wearout" | "drain"
     policy: str
     chunk: int
     src: int

@@ -27,7 +27,11 @@ tracer).  ``sweep_end`` adds ``wall_s``, the cache counters
 and the parent-side span summary.  ``fault`` records tag each fired
 fault-injection event with ``run_id``, ``config``, ``kind``
 (fail/slow/hiccup), ``osd``, ``epoch`` and ``replaced`` (chunks re-placed
-off a failed OSD).  ``service`` records (one per serviced run, before its
+off a failed OSD).  ``topology`` records tag each fired topology event with
+``run_id``, ``config``, ``kind`` (add/drain), ``epoch``, ``count`` (drives
+added; 0 for drains), ``osd`` (drain target; -1 for adds), ``moved``
+(chunks evacuated off a drained OSD) and ``osds_total`` (cluster size after
+the event).  ``service`` records (one per serviced run, before its
 ``run_end``) carry the tail-latency numbers -- ``lat_p50`` / ``lat_p99`` /
 ``lat_p999`` -- plus ``requests`` offered and ``dropped`` by bounded
 queues; non-finite percentiles (an empty histogram, an overflowing tail)
@@ -46,13 +50,17 @@ import time
 import uuid
 from pathlib import Path
 
-EVENTS = ("sweep_start", "sweep_end", "run_start", "run_end", "fault", "service")
+EVENTS = (
+    "sweep_start", "sweep_end", "run_start", "run_end", "fault", "topology",
+    "service",
+)
 
 #: Bump when the record field set changes incompatibly.  Readers skip (or,
 #: in strict mode, reject) records stamped with a *newer* schema than they
 #: understand, so old tooling degrades by ignoring future records instead of
 #: misparsing them.  v2: the ``schema`` field itself became mandatory.
-RUNLOG_SCHEMA_VERSION = 2
+#: v3: added the ``topology`` event type (scale-out / drain records).
+RUNLOG_SCHEMA_VERSION = 3
 
 #: Fields every record must carry.
 BASE_FIELDS = ("event", "schema", "ts", "sweep_id", "pid")
@@ -79,6 +87,10 @@ EVENT_FIELDS = {
         "timings",
     ),
     "fault": ("run_id", "config", "kind", "osd", "epoch", "replaced"),
+    "topology": (
+        "run_id", "config", "kind", "epoch", "count", "osd", "moved",
+        "osds_total",
+    ),
     "service": ("run_id", "config", "lat_p50", "lat_p99", "lat_p999", "requests", "dropped"),
 }
 

@@ -16,6 +16,10 @@ both source and destination candidates.  A half-capacity disk therefore
 reads as twice as loaded and sheds chunks; a dead disk can never be picked.
 On a healthy cluster the degraded branch is never taken and every operation
 is bit-identical to the fault-unaware engine.
+
+Draining OSDs (topology scale-in, ``state.osd_draining``) are masked out of
+destination candidates everywhere a policy picks one: a drive being
+evacuated is a migration *source* only, never a landing spot.
 """
 
 from __future__ import annotations
@@ -189,7 +193,9 @@ class ThresholdPolicy(MigrationPolicy):
             for chunk in self.chunk_order(mine, state):
                 if budget <= 0 or proj[src] <= high:
                     break
-                under = np.flatnonzero((proj < mean) & alive)
+                under = np.flatnonzero(
+                    (proj < mean) & alive & ~state.osd_draining
+                )
                 if under.size == 0:
                     break
                 if emit is None:

@@ -5,9 +5,10 @@ entries (engine-version or config drift, judged by recomputing the content
 hash from the stored config), and aggregates policy x workload cells --
 load CoV, wear spread, wear CoV, migration cost -- averaged across cluster
 sizes and seeds.  Serviced runs add tail-latency columns (p50/p99/p999 and
-the migration-spike ratio), shown only when a service scenario is present so
-plain reports keep their historical shape.  Renders markdown (for docs/PRs)
-or JSON (for tooling).
+the migration-spike ratio) and elastic runs add topology columns (cold-drive
+load share, drain evacuation moves), each shown only when such a scenario is
+present so plain reports keep their historical shape.  Renders markdown (for
+docs/PRs) or JSON (for tooling).
 """
 
 from __future__ import annotations
@@ -36,6 +37,13 @@ SERVICE_COLUMNS = (
     ("service_lat_p99", "lat p99", ".3g"),
     ("service_lat_p999", "lat p999", ".3g"),
     ("migration_spike_ratio", "mig spike", ".3g"),
+)
+
+# Elastic-topology columns, present only on runs with a topology plan;
+# static rows in a mixed report render them as "-".
+TOPOLOGY_COLUMNS = (
+    ("cold_load_share_final", "cold share", ".3f"),
+    ("drain_moves_total", "drain moves", ".0f"),
 )
 
 
@@ -69,17 +77,19 @@ def load_cached_metrics(cache_dir: str | Path) -> LoadedResults:
 
 
 def aggregate(metrics_rows: list[dict]) -> list[dict]:
-    """Mean per (workload, policy, faults, endurance, service) cell, sorted.
+    """Mean per (workload, policy, faults, endurance, service, topology)
+    cell, sorted.
 
-    Healthy, unrated, unserviced runs carry none of the ``faults`` /
-    ``endurance`` / ``service`` keys and land in the ``("", "", "")``
-    scenario, so a plain cache aggregates exactly as before; fault
-    scenarios, endurance models and service models become separate rows
-    comparable side by side with their baseline.  Service columns are
-    averaged only where present (and only over finite values -- an empty
-    histogram's NaN percentile would otherwise poison the cell mean).
+    Healthy, unrated, unserviced, static runs carry none of the ``faults`` /
+    ``endurance`` / ``service`` / ``topology`` keys and land in the
+    ``("", "", "", "")`` scenario, so a plain cache aggregates exactly as
+    before; fault scenarios, endurance models, service models and topology
+    plans become separate rows comparable side by side with their baseline.
+    Service and topology columns are averaged only where present (and only
+    over finite values -- an empty histogram's NaN percentile would
+    otherwise poison the cell mean).
     """
-    groups: dict[tuple[str, str, str, str, str], list[dict]] = {}
+    groups: dict[tuple[str, str, str, str, str, str], list[dict]] = {}
     for m in metrics_rows:
         key = (
             m["workload"],
@@ -87,16 +97,19 @@ def aggregate(metrics_rows: list[dict]) -> list[dict]:
             m.get("faults", ""),
             m.get("endurance", ""),
             m.get("service", ""),
+            m.get("topology", ""),
         )
         groups.setdefault(key, []).append(m)
     out = []
-    for (workload, policy, faults, endurance, service), rows in sorted(groups.items()):
+    for key_tuple, rows in sorted(groups.items()):
+        workload, policy, faults, endurance, service, topology = key_tuple
         cell = {
             "workload": workload,
             "policy": policy,
             "faults": faults,
             "endurance": endurance,
             "service": service,
+            "topology": topology,
             "runs": len(rows),
         }
         for key, _header, _fmt in TABLE_COLUMNS:
@@ -105,17 +118,22 @@ def aggregate(metrics_rows: list[dict]) -> list[dict]:
             for key, _header, _fmt in SERVICE_COLUMNS:
                 vals = [r[key] for r in rows if key in r and math.isfinite(r[key])]
                 cell[key] = sum(vals) / len(vals) if vals else math.nan
+        if topology:
+            for key, _header, _fmt in TOPOLOGY_COLUMNS:
+                vals = [r[key] for r in rows if key in r and math.isfinite(r[key])]
+                cell[key] = sum(vals) / len(vals) if vals else math.nan
         out.append(cell)
     return out
 
 
 def render_markdown(cells: list[dict]) -> str:
-    # The faults / endurance / service columns only appear once such a
-    # scenario is present, so plain healthy-cluster reports keep their
-    # historical shape.
+    # The faults / endurance / service / topology columns only appear once
+    # such a scenario is present, so plain healthy-cluster reports keep
+    # their historical shape.
     show_faults = any(c.get("faults") for c in cells)
     show_endurance = any(c.get("endurance") for c in cells)
     show_service = any(c.get("service") for c in cells)
+    show_topology = any(c.get("topology") for c in cells)
     headers = ["workload", "policy"]
     if show_faults:
         headers.append("faults")
@@ -123,9 +141,13 @@ def render_markdown(cells: list[dict]) -> str:
         headers.append("endurance")
     if show_service:
         headers.append("service")
+    if show_topology:
+        headers.append("topology")
     headers += ["runs"] + [h for _k, h, _f in TABLE_COLUMNS]
     if show_service:
         headers += [h for _k, h, _f in SERVICE_COLUMNS]
+    if show_topology:
+        headers += [h for _k, h, _f in TOPOLOGY_COLUMNS]
     lines = [
         "| " + " | ".join(headers) + " |",
         "|" + "|".join("---" for _ in headers) + "|",
@@ -138,10 +160,17 @@ def render_markdown(cells: list[dict]) -> str:
             values.append(c.get("endurance") or "unrated")
         if show_service:
             values.append(c.get("service") or "untimed")
+        if show_topology:
+            values.append(c.get("topology") or "static")
         values.append(str(c["runs"]))
         values += [format(c[key], fmt) for key, _h, fmt in TABLE_COLUMNS]
         if show_service:
             for key, _h, fmt in SERVICE_COLUMNS:
+                v = c.get(key)
+                has = v is not None and not (isinstance(v, float) and math.isnan(v))
+                values.append(format(v, fmt) if has else "-")
+        if show_topology:
+            for key, _h, fmt in TOPOLOGY_COLUMNS:
                 v = c.get(key)
                 has = v is not None and not (isinstance(v, float) and math.isnan(v))
                 values.append(format(v, fmt) if has else "-")

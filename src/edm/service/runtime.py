@@ -47,9 +47,11 @@ __all__ = [
 ]
 
 # Fixed log-spaced latency bin edges (in epochs of service time): bin 0 is
-# [0, 1e-4), then 256 log-spaced bins up to 1e4.  The last bin is the
-# overflow bin -- anything slower than 1e4 epochs (including inf, a request
-# accepted by a zero-rate OSD) lands there and percentiles report it as inf.
+# [0, 1e-4), then 256 log-spaced bins up to 1e4.  The histogram carries one
+# extra slot past the last edge -- a dedicated overflow bin for anything
+# slower than 1e4 epochs (including inf, a request accepted by a zero-rate
+# OSD).  Percentiles report the overflow bin as inf; a finite latency at or
+# below the top edge always resolves to a real (finite-edged) bin.
 LATENCY_EDGES = np.concatenate(([0.0], np.logspace(-4.0, 4.0, 257)))
 _NUM_BINS = LATENCY_EDGES.size - 1
 
@@ -59,15 +61,17 @@ def histogram_percentile(hist: np.ndarray, q: float) -> float:
 
     Returns NaN for an empty histogram (a run that never accepted a request
     -- e.g. zero-request epochs throughout, or an all-dead cluster) and inf
-    when the percentile falls in the overflow bin.  Both guards are explicit
-    Python branches, so no RuntimeWarning escapes under ``-W error``.
+    only when the percentile falls in the dedicated overflow slot past the
+    last edge (``hist`` has ``_NUM_BINS + 1`` entries).  Both guards are
+    explicit Python branches, so no RuntimeWarning escapes under
+    ``-W error``.
     """
     total = int(hist.sum())
     if total == 0:
         return float("nan")
     target = q * total
     idx = int(np.searchsorted(np.cumsum(hist), target, side="left"))
-    if idx >= _NUM_BINS - 1:
+    if idx >= _NUM_BINS:
         return float("inf")
     return float(LATENCY_EDGES[idx])
 
@@ -149,8 +153,9 @@ class ServiceRuntime:
         self.qbound = model.queue_bound
         self._drain = 1.0 / float(cfg.service_cooldown_epochs)
         self._rates = model.rates(cfg.num_osds)
-        # Run-level accumulators.
-        self.hist = np.zeros(_NUM_BINS, dtype=np.int64)
+        # Run-level accumulators.  The histogram has one slot per real bin
+        # plus a trailing overflow slot for latencies past the last edge.
+        self.hist = np.zeros(_NUM_BINS + 1, dtype=np.int64)
         self.lat_sum = 0.0
         self.lat_count = 0
         self.stalled_total = 0
@@ -211,9 +216,16 @@ class ServiceRuntime:
             bins = np.clip(
                 np.searchsorted(LATENCY_EDGES, lat, side="right") - 1,
                 0,
-                _NUM_BINS - 1,
+                _NUM_BINS,
             )
-            self.hist += np.bincount(bins, minlength=_NUM_BINS)
+            # searchsorted(side="right") pushes a latency equal to the top
+            # edge past it; fold finite latencies at or below the top edge
+            # back into the last real bin so only genuine overflow (> 1e4
+            # epochs, or inf) lands in the overflow slot.
+            over = bins == _NUM_BINS
+            if over.any():
+                bins[over & (lat <= LATENCY_EDGES[-1])] = _NUM_BINS - 1
+            self.hist += np.bincount(bins, minlength=_NUM_BINS + 1)
         if n_finite:
             fin_sum = float(lat[finite].sum())
             self.lat_sum += fin_sum
@@ -229,12 +241,20 @@ class ServiceRuntime:
                 self._clean_lat_sum += fin_sum
                 self._clean_lat_count += n_finite
 
-        # Queue-depth aggregates (all OSDs; dead queues were zeroed above).
-        d_mean = float(depth.mean())
-        d_cov = float(depth.std() / d_mean) if d_mean > 0 else 0.0
+        # Queue-depth aggregates over *alive* OSDs only.  Dead queues were
+        # zeroed above; leaving them in would dilute the survivors' mean
+        # with permanent zeros and inflate the CoV for the rest of the run
+        # -- the same survivor-masking convention the load CoV uses.
+        d_alive = depth[alive]
+        if d_alive.size:
+            d_mean = float(d_alive.mean())
+            d_cov = float(d_alive.std() / d_mean) if d_mean > 0 else 0.0
+            self._depth_max = max(self._depth_max, float(d_alive.max()))
+        else:
+            d_mean = 0.0
+            d_cov = 0.0
         self._depth_mean_sum += d_mean
         self._depth_cov_sum += d_cov
-        self._depth_max = max(self._depth_max, float(depth.max()))
         self._epochs += 1
         if stats is not None:
             stats.lat_mean = lat_mean

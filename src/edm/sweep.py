@@ -97,24 +97,26 @@ def default_grid(
     faults=("",),
     endurance=("",),
     service=("",),
+    topology=("",),
     **overrides,
 ) -> list[SimConfig]:
     """The paper's evaluation grid: 4 workloads x {16,20} OSDs x 4 policies x 2 seeds.
 
-    ``faults``, ``endurance``, and ``service`` are extra grid axes of
-    fault-scenario, endurance-model, and service-model specs (see
-    :mod:`edm.faults.plan` / :mod:`edm.endurance.spec` /
-    :mod:`edm.service.spec`); the default single empty spec on each is the
-    healthy, unrated, unserviced cluster and leaves the grid exactly as the
-    paper evaluates it.
+    ``faults``, ``endurance``, ``service``, and ``topology`` are extra grid
+    axes of fault-scenario, endurance-model, service-model, and
+    topology-plan specs (see :mod:`edm.faults.plan` /
+    :mod:`edm.endurance.spec` / :mod:`edm.service.spec` /
+    :mod:`edm.topology.spec`); the default single empty spec on each is the
+    healthy, unrated, unserviced, static cluster and leaves the grid exactly
+    as the paper evaluates it.
     """
     return [
         SimConfig(
             workload=w, num_osds=n, policy=p, seed=s, skew=skew,
-            faults=f, endurance=e, service=v, **overrides,
+            faults=f, endurance=e, service=v, topology=t, **overrides,
         )
-        for w, n, p, s, f, e, v in product(
-            workloads, osds, policies, seeds, faults, endurance, service
+        for w, n, p, s, f, e, v, t in product(
+            workloads, osds, policies, seeds, faults, endurance, service, topology
         )
     ]
 
@@ -125,7 +127,7 @@ def series_path(timeseries_dir: str | os.PathLike, cfg: SimConfig) -> Path:
 
 
 class _FaultLogRecorder(Recorder):
-    """Streams each fired fault event into the worker's run log."""
+    """Streams each fired fault or topology event into the worker's run log."""
 
     def __init__(self, writer: RunLogWriter, run_id: str, config_name: str):
         self._writer = writer
@@ -142,6 +144,19 @@ class _FaultLogRecorder(Recorder):
             epoch=int(state.epoch),
             factor=float(event.factor),
             replaced=int(replaced),
+        )
+
+    def on_topology(self, state, event, moved: int) -> None:
+        self._writer.emit(
+            "topology",
+            run_id=self._run_id,
+            config=self._config_name,
+            kind=event.kind,
+            epoch=int(event.epoch),
+            count=int(event.count),
+            osd=int(event.osd),
+            moved=int(moved),
+            osds_total=int(state.num_osds),
         )
 
 
@@ -196,10 +211,10 @@ def _run_config(task: _Task) -> dict:
             config_hash=config_hash(cfg),
             engine_version=ENGINE_VERSION,
         )
-        if cfg.faults or cfg.endurance:
-            # Tag every fired fault event (scheduled or wear-out) in the run
-            # log, streamed from the worker as the simulation crosses each
-            # event's epoch.
+        if cfg.faults or cfg.endurance or cfg.topology:
+            # Tag every fired fault event (scheduled or wear-out) and
+            # topology event (scale-out / drain) in the run log, streamed
+            # from the worker as the simulation crosses each event's epoch.
             recorders = (*recorders, _FaultLogRecorder(writer, run_id, cfg.cache_name()))
 
     t0 = time.perf_counter()

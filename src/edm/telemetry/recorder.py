@@ -4,6 +4,11 @@
 four-call lifecycle:
 
     on_run_start(cfg, state)        once, after state init, before epoch 0
+    on_topology(state, event, moved)
+                                    when a topology event fires (scale-out /
+                                    drain), after the add's growth or the
+                                    drain's evacuation + retire, before that
+                                    epoch's fault step and routing
     on_fault(state, event, replaced)
                                     when a fault event fires (failure /
                                     slow-disk / hiccup), after any failure
@@ -43,6 +48,7 @@ if TYPE_CHECKING:
     from edm.engine.state import ClusterState
     from edm.faults import FaultEvent
     from edm.obs.decisions import Decision
+    from edm.topology import TopologyEvent
 
 
 @dataclass
@@ -68,6 +74,12 @@ class Recorder:
 
     def on_run_start(self, cfg: "SimConfig", state: "ClusterState") -> None:
         """Called once before the first epoch; allocate buffers here."""
+
+    def on_topology(self, state: "ClusterState", event: "TopologyEvent", moved: int) -> None:
+        """Called when a topology event fires; ``moved`` counts chunks
+        evacuated off a drained OSD (0 for scale-out events).  For adds the
+        state has already grown -- the newest ``event.count`` ids are the
+        cold drives; for drains the target is already retired."""
 
     def on_fault(self, state: "ClusterState", event: "FaultEvent", replaced: int) -> None:
         """Called when a fault event fires; ``replaced`` counts chunks

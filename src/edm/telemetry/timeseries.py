@@ -29,6 +29,7 @@ import numpy as np
 
 from edm.config import SimConfig, config_hash
 from edm.telemetry.recorder import EpochStats, Recorder
+from edm.topology.spec import TopologyPlan
 
 if TYPE_CHECKING:
     from edm.engine.state import ClusterState
@@ -40,7 +41,10 @@ if TYPE_CHECKING:
 #    (alive-masked remaining rated life; ``+inf`` without an endurance model).
 # 4: added the service columns ``queue_depth_mean`` / ``queue_depth_cov`` /
 #    ``service_lat_mean`` (all 0.0 without a service model).
-SERIES_FORMAT_VERSION = 4
+# 5: added ``osds_total`` (cluster size at each sample, elastic under a
+#    topology plan) and the ``topology`` meta key; per-OSD columns are sized
+#    to the plan's maximum cluster width, zero-filled before a drive joins.
+SERIES_FORMAT_VERSION = 5
 
 _ARRAY_FIELDS = (
     "epoch",
@@ -57,6 +61,7 @@ _ARRAY_FIELDS = (
     "queue_depth_mean",
     "queue_depth_cov",
     "service_lat_mean",
+    "osds_total",
 )
 
 # Fields the current reader tolerates missing from older files, with the
@@ -75,6 +80,10 @@ _V3_COMPAT_FILLS = {
     "service_lat_mean": 0.0,
 }
 _COMPAT_FILLS = {**_V2_COMPAT_FILLS, **_V3_COMPAT_FILLS}
+# v4 files lack ``osds_total``; its backfill is per-file (meta["num_osds"],
+# exact for any pre-v5 engine -- topologies were static), not a constant,
+# so it is handled separately from _COMPAT_FILLS in load_npz.
+_V4_COMPAT_FIELDS = ("osds_total",)
 
 
 @dataclass(frozen=True)
@@ -101,6 +110,7 @@ class TimeSeries:
     queue_depth_mean: np.ndarray     # float64 [T], mean per-OSD queue depth (0 without service)
     queue_depth_cov: np.ndarray      # float64 [T], CoV of queue depth across OSDs
     service_lat_mean: np.ndarray     # float64 [T], mean finite request latency per epoch
+    osds_total: np.ndarray           # int64 [T], cluster size (incl. dead) at each sample
 
     @property
     def num_samples(self) -> int:
@@ -139,14 +149,18 @@ class TimeSeries:
         pre-endurance engine would have recorded (``+inf`` remaining life)
         and missing v4 service columns with a pre-service engine's (0.0 --
         requests had no duration), so an older file round-trips through
-        load -> save -> load.  Files missing any *core* column are still
+        load -> save -> load.  A missing v5 ``osds_total`` column backfills
+        from ``meta["num_osds"]`` -- exact, since pre-v5 engines only ran
+        static topologies.  Files missing any *core* column are still
         rejected.
         """
         with np.load(path, allow_pickle=False) as npz:
             meta = json.loads(str(npz["meta"][()]))
             missing = [
                 k for k in _ARRAY_FIELDS
-                if k not in npz.files and k not in _COMPAT_FILLS
+                if k not in npz.files
+                and k not in _COMPAT_FILLS
+                and k not in _V4_COMPAT_FIELDS
             ]
             if missing:
                 raise ValueError(
@@ -160,6 +174,10 @@ class TimeSeries:
             for k, fill in _COMPAT_FILLS.items():
                 if k not in arrays:
                     arrays[k] = np.full(samples, fill)
+            if "osds_total" not in arrays:
+                arrays["osds_total"] = np.full(
+                    samples, int(meta.get("num_osds", 0)), dtype=np.int64
+                )
         return cls(meta=meta, **arrays)
 
     def to_json_dict(self) -> dict:
@@ -183,7 +201,8 @@ class TimeSeries:
         header = (
             ["epoch", "load_cov", "load_peak_ratio", "wear_cov", "migrations",
              "alive", "replacements", "remaining_life_min", "remaining_life_mean",
-             "queue_depth_mean", "queue_depth_cov", "service_lat_mean"]
+             "queue_depth_mean", "queue_depth_cov", "service_lat_mean",
+             "osds_total"]
             + [f"load_osd{i}" for i in range(n)]
             + [f"wear_osd{i}" for i in range(n)]
         )
@@ -205,6 +224,7 @@ class TimeSeries:
                         float(self.queue_depth_mean[t]),
                         float(self.queue_depth_cov[t]),
                         float(self.service_lat_mean[t]),
+                        int(self.osds_total[t]),
                     ]
                     + [float(v) for v in self.load[t]]
                     + [float(v) for v in self.wear[t]]
@@ -233,7 +253,12 @@ class TimeSeriesRecorder(Recorder):
         self.series = None
         # One slot per sampled epoch plus one for the end-of-run snapshot.
         cap = (cfg.epochs + self.record_every - 1) // self.record_every + 1
-        n = cfg.num_osds
+        # Per-OSD buffers are sized to the topology plan's maximum cluster
+        # width up front (== num_osds for static configs), so scale-out
+        # never reallocates mid-run; columns of not-yet-added drives stay 0.
+        n = TopologyPlan.parse(cfg.topology, num_osds=cfg.num_osds).max_osds(
+            cfg.num_osds
+        )
         self._epoch = np.zeros(cap, dtype=np.int64)
         self._load = np.zeros((cap, n))
         self._load_cov = np.zeros(cap)
@@ -248,6 +273,7 @@ class TimeSeriesRecorder(Recorder):
         self._qd_mean = np.zeros(cap)
         self._qd_cov = np.zeros(cap)
         self._lat_mean = np.zeros(cap)
+        self._osds_total = np.zeros(cap, dtype=np.int64)
         self._i = 0
         self._window = 0       # moves applied since the last recorded sample
         self._repl_window = 0  # failure re-placements since the last sample
@@ -282,7 +308,7 @@ class TimeSeriesRecorder(Recorder):
             self._window = 0
             self._replacements[i] += self._repl_window
             self._repl_window = 0
-            self._wear[i] = state.osd_wear
+            self._wear[i, : state.osd_wear.size] = state.osd_wear
             wm = state.osd_wear.mean()
             self._wear_cov[i] = float(state.osd_wear.std() / wm) if wm > 0 else 0.0
             self._record_lifetime(i, state)
@@ -305,6 +331,7 @@ class TimeSeriesRecorder(Recorder):
                 "faults": cfg.faults,
                 "endurance": cfg.endurance,
                 "service": cfg.service,
+                "topology": cfg.topology,
             },
             epoch=self._epoch[:i].copy(),
             load=self._load[:i].copy(),
@@ -320,6 +347,7 @@ class TimeSeriesRecorder(Recorder):
             queue_depth_mean=self._qd_mean[:i].copy(),
             queue_depth_cov=self._qd_cov[:i].copy(),
             service_lat_mean=self._lat_mean[:i].copy(),
+            osds_total=self._osds_total[:i].copy(),
         )
         return self.series
 
@@ -332,12 +360,15 @@ class TimeSeriesRecorder(Recorder):
         wear = state.osd_wear
         i = self._i
         self._epoch[i] = epoch
-        self._load[i] = load
+        # Partial-width assignment: under an elastic topology the live
+        # arrays are narrower than the plan-width buffers until the last
+        # scale-out fires (a full-width assignment when sizes match).
+        self._load[i, : load.size] = load
         mean = load.mean()
         if mean > 0:
             self._load_cov[i] = load.std() / mean
             self._peak[i] = load.max() / mean
-        self._wear[i] = wear
+        self._wear[i, : wear.size] = wear
         wm = wear.mean()
         if wm > 0:
             self._wear_cov[i] = wear.std() / wm
@@ -348,4 +379,5 @@ class TimeSeriesRecorder(Recorder):
         self._repl_window = 0
         self._record_lifetime(i, state)
         self._qd_mean[i], self._qd_cov[i], self._lat_mean[i] = self._svc_last
+        self._osds_total[i] = state.num_osds
         self._i = i + 1

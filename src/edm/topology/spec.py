@@ -1,0 +1,225 @@
+"""Topology plans: deterministic, seed-free schedules of cluster reshaping.
+
+A :class:`TopologyPlan` is parsed from a compact spec string (the
+``topology`` field of :class:`~edm.config.SimConfig`, or ``--topology`` on
+the CLI) and fully determines *when* and *how* the cluster changes shape --
+there is no randomness in the topology layer, so an elastic run is exactly
+as reproducible as a static one.
+
+Spec grammar (events joined with ``;``; attributes within an ``add`` join
+with ``,``, so a ``|``-separated CLI list can carry several plans)::
+
+    spec    := event (";" event)*
+    event   := add | drain
+    add     := "add:" COUNT "@" EPOCH ("/" attrs)?      scale-out: COUNT new OSDs
+    attrs   := attr ("," attr)*                         device class of the new band
+    attr    := "cap:" FACTOR | "rate:" RATE | "pe:" CYCLES
+    drain   := "drain:" OSD "@" EPOCH                   graceful scale-in of one OSD
+
+Examples::
+
+    add:4@128                       4 cold drives join at epoch 128
+    add:4@128/cap:2,rate:1600,pe:10000
+                                    a heterogeneous band: double capacity,
+                                    1600 req/epoch, rated 10000 cycles
+    drain:2@64                      OSD 2 evacuates and retires at epoch 64
+    add:2@32/cap:2;drain:0@96       scale out, then scale in, one plan
+
+Unspecified attributes inherit the cluster's defaults: capacity 1.0, the
+service model's default rate (no queueing without one), the endurance
+model's default rating (unrated without one).  The empty string (or
+``"none"``) is the static cluster.  Parsing canonicalizes the spec --
+events sorted by (epoch, kind, count-or-osd) with ``add`` before ``drain``
+at the same epoch, attributes in ``cap,rate,pe`` order, numbers normalized
+-- so two spellings of the same plan produce the same ``SimConfig`` content
+hash and hit the same cache entry.
+
+Built on the shared :mod:`edm.spec` toolkit (the same machinery behind the
+faults, endurance, and service grammars).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from edm.spec import ClauseRule, SpecError, SpecGrammar, format_fixed, format_g
+
+TOPOLOGY_KINDS = ("add", "drain")
+
+#: Attribute keys an ``add`` event accepts, in canonical rendering order.
+ADD_ATTRS = ("cap", "rate", "pe")
+
+
+@dataclass(frozen=True)
+class TopologyEvent:
+    """One scheduled reshaping event.
+
+    ``count`` is the number of OSDs joining (``add`` only); ``osd`` the id
+    leaving (``drain`` only).  ``cap`` / ``rate`` / ``pe`` describe the
+    device class of an added band -- ``rate`` and ``pe`` stay ``None`` when
+    the plan defers to the service / endurance model defaults.
+    """
+
+    kind: str
+    epoch: int
+    count: int = 0
+    osd: int = -1
+    cap: float = 1.0
+    rate: float | None = None
+    pe: float | None = None
+
+    def render(self) -> str:
+        """Canonical spec fragment for this event."""
+        if self.kind == "drain":
+            return f"drain:{self.osd}@{self.epoch}"
+        attrs = []
+        if self.cap != 1.0:
+            attrs.append(f"cap:{format_g(self.cap)}")
+        if self.rate is not None:
+            attrs.append(f"rate:{format_fixed(self.rate)}")
+        if self.pe is not None:
+            attrs.append(f"pe:{format_fixed(self.pe)}")
+        suffix = "/" + ",".join(attrs) if attrs else ""
+        return f"add:{self.count}@{self.epoch}{suffix}"
+
+
+_ATTR_RE = re.compile(r"^(cap|rate|pe):(\d+(?:\.\d+)?)$")
+
+
+def _build_add(m: re.Match) -> TopologyEvent:
+    count, epoch = int(m.group(1)), int(m.group(2))
+    clause = m.group(0)
+    attrs: dict[str, float] = {}
+    if m.group(3) is not None:
+        for part in m.group(3).split(","):
+            part = part.strip()
+            am = _ATTR_RE.match(part)
+            if not am:
+                raise SpecError(
+                    f"topology event {clause!r}: bad attribute {part!r}; "
+                    f"expected 'cap:FACTOR', 'rate:RATE' or 'pe:CYCLES'"
+                )
+            key, val = am.group(1), float(am.group(2))
+            if key in attrs:
+                raise SpecError(
+                    f"topology event {clause!r}: attribute {key!r} given twice"
+                )
+            if val <= 0:
+                raise SpecError(
+                    f"topology event {clause!r}: {key} must be > 0"
+                )
+            attrs[key] = val
+    return TopologyEvent(
+        kind="add",
+        epoch=epoch,
+        count=count,
+        cap=attrs.get("cap", 1.0),
+        rate=attrs.get("rate"),
+        pe=attrs.get("pe"),
+    )
+
+
+_GRAMMAR = SpecGrammar(
+    name="topology",
+    clause_noun="topology event",
+    expected=(
+        "'add:COUNT@EPOCH', 'add:COUNT@EPOCH/cap:F,rate:R,pe:C' "
+        "or 'drain:OSD@EPOCH'"
+    ),
+    rules=(
+        ClauseRule(
+            name="add",
+            regex=re.compile(r"^add:(\d+)@(\d+)(?:/([^/]*))?$"),
+            build=_build_add,
+        ),
+        ClauseRule(
+            name="drain",
+            regex=re.compile(r"^drain:(\d+)@(\d+)$"),
+            build=lambda m: TopologyEvent(
+                kind="drain", osd=int(m.group(1)), epoch=int(m.group(2))
+            ),
+        ),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class TopologyPlan:
+    """A validated, canonically ordered schedule of reshaping events."""
+
+    events: tuple[TopologyEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`)."""
+        return ";".join(ev.render() for ev in self.events)
+
+    @property
+    def adds(self) -> tuple[TopologyEvent, ...]:
+        return tuple(ev for ev in self.events if ev.kind == "add")
+
+    @property
+    def drains(self) -> tuple[TopologyEvent, ...]:
+        return tuple(ev for ev in self.events if ev.kind == "drain")
+
+    def max_osds(self, initial: int) -> int:
+        """Largest OSD-array width the plan ever reaches (drains don't shrink
+        arrays -- a retired OSD keeps its slot, dead)."""
+        return initial + sum(ev.count for ev in self.adds)
+
+    def final_osds(self, initial: int) -> int:
+        """Live OSD count once the whole plan has fired."""
+        return self.max_osds(initial) - len(self.drains)
+
+    @classmethod
+    def parse(cls, spec: str, num_osds: int | None = None) -> "TopologyPlan":
+        """Parse and validate a spec; ``num_osds`` enables id/survivor checks."""
+        events = _GRAMMAR.parse(spec)
+        # "add" sorts before "drain", so growth lands before any same-epoch
+        # scale-in -- a drain may target a band added that very epoch.
+        events.sort(
+            key=lambda ev: (ev.epoch, ev.kind, ev.count if ev.kind == "add" else ev.osd)
+        )
+        plan = cls(events=tuple(events))
+        plan.validate(num_osds=num_osds)
+        return plan
+
+    def validate(self, num_osds: int | None = None) -> None:
+        drained: set[int] = set()
+        running = num_osds
+        for ev in self.events:
+            if ev.kind == "add":
+                if ev.count < 1:
+                    raise SpecError(
+                        f"topology event {ev.render()!r}: count must be >= 1"
+                    )
+                if running is not None:
+                    running += ev.count
+                continue
+            if ev.osd in drained:
+                raise SpecError(
+                    f"OSD {ev.osd} scheduled to drain more than once"
+                )
+            drained.add(ev.osd)
+            if running is not None:
+                # The id must exist by the drain's epoch: initial OSDs plus
+                # every band added at or before it (events are epoch-sorted,
+                # so ``running`` counts exactly those).
+                if ev.osd >= num_osds + sum(
+                    a.count for a in self.adds if a.epoch <= ev.epoch
+                ):
+                    raise SpecError(
+                        f"topology event {ev.render()!r}: OSD {ev.osd} does "
+                        f"not exist at epoch {ev.epoch} (cluster has grown "
+                        f"to {running} OSDs by then)"
+                    )
+                running -= 1
+                if running < 2:
+                    raise SpecError(
+                        f"topology event {ev.render()!r}: plan drains the "
+                        f"cluster below 2 OSDs; at least 2 must remain"
+                    )

@@ -123,3 +123,18 @@ def test_init_state_round_robin_blocks(small_cfg):
     state = init_state(small_cfg)
     counts = np.bincount(state.chunk_owner, minlength=small_cfg.num_osds)
     assert (counts == small_cfg.chunks_per_osd).all()
+
+
+def test_never_migrated_sentinel_clears_cooldown_at_epoch_zero(make_cfg):
+    """The chunk_last_migrated sentinel is -(10**9) -- far enough in the
+    past that every chunk is migration-eligible at epoch 0 under any sane
+    cooldown, without the int64-overflow risk a -inf-style minimum would
+    carry in the ``epoch - last_migrated`` subtraction."""
+    cfg = make_cfg(migration_cooldown_epochs=10**6)
+    state = init_state(cfg)
+    assert (state.chunk_last_migrated == -(10**9)).all()
+    assert state.epoch == 0
+    assert state.eligible_mask(cfg).all()
+    # The subtraction stays far from int64 limits even at the last epoch.
+    ages = state.epoch + cfg.epochs - state.chunk_last_migrated
+    assert (ages < np.iinfo(np.int64).max // 2).all()

@@ -81,9 +81,22 @@ def test_percentile_empty_histogram_is_nan():
 
 
 def test_percentile_overflow_bin_is_inf():
-    hist = np.zeros(NUM_BINS, dtype=np.int64)
+    # The overflow slot sits *past* the last real bin (hist has NUM_BINS + 1
+    # entries): only latencies beyond the last finite edge report inf.
+    hist = np.zeros(NUM_BINS + 1, dtype=np.int64)
     hist[-1] = 10  # every request slower than the last finite edge
     assert np.isinf(histogram_percentile(hist, 0.5))
+
+
+def test_percentile_top_real_bin_is_finite():
+    # A latency inside the last log-spaced bin (just under the 1e4 edge) is
+    # finite and must never be reported as inf -- the regression the
+    # dedicated overflow slot exists to prevent.
+    hist = np.zeros(NUM_BINS + 1, dtype=np.int64)
+    hist[NUM_BINS - 1] = 10
+    p = histogram_percentile(hist, 0.99)
+    assert np.isfinite(p)
+    assert p == LATENCY_EDGES[NUM_BINS - 1]
 
 
 def test_percentile_reads_lower_bin_edge():
@@ -239,6 +252,35 @@ def test_dead_osd_backlog_becomes_lost_work(make_cfg):
     assert degraded["service_lost_work"] > 0.0
     healthy = simulate(make_cfg(service="rate:100"))
     assert healthy["service_lost_work"] == 0.0
+
+
+def test_queue_aggregates_exclude_dead_osds(make_cfg):
+    """Depth mean/CoV are survivor-masked: a dead OSD's permanent zero must
+    not dilute the mean or inflate the CoV for the rest of the run."""
+    from conftest import make_state
+
+    cfg = make_cfg(num_osds=4, service="rate:10;queue:64")
+    model = ServiceModel.parse(cfg.service, num_osds=4)
+    rt = service_runtime.ServiceRuntime(model, cfg)
+    state = make_state(cfg)
+    rt.attach(state)
+    state.osd_alive[0] = False
+    arrivals = np.array([0.0, 30.0, 40.0, 50.0])
+    rt.step(state, arrivals)
+    d = state.osd_queue_depth[1:]  # survivors
+    assert rt._depth_mean_sum == pytest.approx(float(d.mean()))
+    assert rt._depth_cov_sum == pytest.approx(float(d.std() / d.mean()))
+    assert rt._depth_max == pytest.approx(float(d.max()))
+
+
+def test_degraded_queue_metrics_match_survivor_stats(make_cfg):
+    """End to end: after a fail, queue_depth_mean reflects live queues, so a
+    degraded run's mean must exceed the same run diluted by corpse zeros
+    (which is what the old unmasked aggregation reported)."""
+    cfg = make_cfg(service="rate:100;queue:64", faults="fail:1@4")
+    m = simulate(cfg)
+    assert m["queue_depth_mean"] > 0.0
+    assert np.isfinite(m["queue_depth_cov_mean"])
 
 
 def test_migration_work_creates_latency_spikes(make_cfg):

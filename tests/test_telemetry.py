@@ -143,9 +143,9 @@ def test_csv_and_json_export(small_cfg, tmp_path):
     assert lines[0].startswith(
         "epoch,load_cov,load_peak_ratio,wear_cov,migrations,alive,replacements,"
         "remaining_life_min,remaining_life_mean,"
-        "queue_depth_mean,queue_depth_cov,service_lat_mean"
+        "queue_depth_mean,queue_depth_cov,service_lat_mean,osds_total"
     )
-    assert lines[0].count(",") == 11 + 2 * s.num_osds
+    assert lines[0].count(",") == 12 + 2 * s.num_osds
 
     json_path = s.save_json(tmp_path / "series.json")
     import json

@@ -1,0 +1,224 @@
+"""Topology plans: grammar round-trips, validation, cache naming, elastic
+runtime behavior (scale-out growth, graceful drains), and the end-to-end
+tension a scale-out creates (cold drives absorbing load)."""
+
+import numpy as np
+import pytest
+
+from edm.config import config_hash
+from edm.engine.core import simulate
+from edm.spec import SpecError
+from edm.topology import TopologyPlan, TopologyRuntime
+
+# ---------------------------------------------------------------------------
+# Grammar
+
+
+def test_empty_and_none_are_static():
+    assert not TopologyPlan.parse("")
+    assert not TopologyPlan.parse("none")
+    assert TopologyPlan.parse("").spec == ""
+
+
+def test_simple_add_round_trips():
+    plan = TopologyPlan.parse("add:4@128")
+    assert plan.spec == "add:4@128"
+    (ev,) = plan.events
+    assert (ev.kind, ev.count, ev.epoch) == ("add", 4, 128)
+    assert ev.cap == 1.0 and ev.rate is None and ev.pe is None
+
+
+def test_add_with_device_class_round_trips():
+    plan = TopologyPlan.parse("add:4@128/cap:2,rate:1600,pe:10000")
+    assert plan.spec == "add:4@128/cap:2,rate:1600,pe:10000"
+    (ev,) = plan.events
+    assert ev.cap == 2.0 and ev.rate == 1600.0 and ev.pe == 10000.0
+
+
+def test_canonicalization_is_spelling_invariant():
+    # Attribute order, event order, and whitespace all normalize away.
+    a = TopologyPlan.parse("drain:0@96; add:2@32/rate:1600,cap:2")
+    b = TopologyPlan.parse("add:2@32/cap:2,rate:1600;drain:0@96")
+    assert a.spec == b.spec == "add:2@32/cap:2,rate:1600;drain:0@96"
+
+
+def test_add_sorts_before_same_epoch_drain():
+    plan = TopologyPlan.parse("drain:1@64;add:2@64")
+    assert [ev.kind for ev in plan.events] == ["add", "drain"]
+
+
+def test_default_cap_not_rendered():
+    assert TopologyPlan.parse("add:2@8/cap:1").spec == "add:2@8"
+
+
+def test_max_and_final_osds():
+    plan = TopologyPlan.parse("add:4@16;add:2@32;drain:0@48;drain:1@64")
+    assert plan.max_osds(8) == 14
+    assert plan.final_osds(8) == 12
+    assert len(plan.adds) == 2 and len(plan.drains) == 2
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "add:0@16",                 # count must be >= 1
+        "add:2@16/cap:0",           # attributes must be > 0
+        "add:2@16/cap:2,cap:3",     # duplicate attribute
+        "add:2@16/speed:9",         # unknown attribute
+        "drain:0@16;drain:0@32",    # same OSD drained twice
+        "grow:2@16",                # unknown event kind
+    ],
+)
+def test_bad_specs_rejected(spec):
+    with pytest.raises(SpecError):
+        TopologyPlan.parse(spec)
+
+
+def test_drain_of_nonexistent_osd_rejected():
+    with pytest.raises(SpecError, match="does not exist"):
+        TopologyPlan.parse("drain:7@16", num_osds=4)
+    # ...but an id inside a band added *by* the drain's epoch is fine.
+    TopologyPlan.parse("add:4@8;drain:7@16", num_osds=4)
+
+
+def test_drain_below_two_survivors_rejected():
+    with pytest.raises(SpecError, match="below 2"):
+        TopologyPlan.parse("drain:0@8;drain:1@16", num_osds=3)
+
+
+# ---------------------------------------------------------------------------
+# Config integration: canonicalization, cache naming, hashing
+
+
+def test_config_canonicalizes_topology(make_cfg):
+    cfg = make_cfg(topology="drain:0@24; add:2@8/rate:1600,cap:2")
+    assert cfg.topology == "add:2@8/cap:2,rate:1600;drain:0@24"
+
+
+def test_config_rejects_invalid_topology(make_cfg):
+    with pytest.raises(SpecError):
+        make_cfg(topology="drain:99@8")
+
+
+def test_cache_name_topology_suffix(make_cfg):
+    static = make_cfg()
+    elastic = make_cfg(topology="add:2@8")
+    assert "-t" not in static.cache_name()
+    assert elastic.cache_name().startswith(static.cache_name() + "-t")
+    # Two spellings of one plan share a cache entry; different plans don't.
+    respelled = make_cfg(topology=" add:2@8 ")
+    assert respelled.cache_name() == elastic.cache_name()
+    other = make_cfg(topology="add:3@8")
+    assert other.cache_name() != elastic.cache_name()
+
+
+def test_empty_topology_hashes_like_pre_topology_config(make_cfg):
+    # config_hash drops an empty topology from the payload, so static
+    # configs keep their pre-topology content hash (cache entries survive).
+    assert config_hash(make_cfg()) == config_hash(make_cfg(topology=""))
+    assert config_hash(make_cfg()) != config_hash(make_cfg(topology="add:2@8"))
+
+
+# ---------------------------------------------------------------------------
+# Runtime behavior
+
+
+def _grown_state(cfg, plan):
+    from conftest import make_state
+
+    state = make_state(cfg, epoch=0)
+    runtime = TopologyRuntime(plan)
+    return state, runtime
+
+
+def test_scale_out_grows_every_array(make_cfg):
+    cfg = make_cfg()
+    plan = TopologyPlan.parse("add:3@5/cap:2,rate:1600,pe:9000", num_osds=cfg.num_osds)
+    state, runtime = _grown_state(cfg, plan)
+    n0 = state.num_osds
+    assert runtime.step(state, epoch=4) == []
+    fired = runtime.step(state, epoch=5)
+    assert len(fired) == 1 and fired[0].kind == "add"
+    assert state.num_osds == n0 + 3
+    for name in (
+        "osd_wear", "osd_load_ema", "osd_alive", "osd_capacity",
+        "osd_rated_life", "osd_wear_rate", "osd_service_rate",
+        "osd_queue_depth", "osd_mig_backlog", "osd_draining",
+    ):
+        assert getattr(state, name).shape == (n0 + 3,), name
+    # New drives join cold, with the event's device class.
+    assert (state.osd_wear[n0:] == 0).all()
+    assert (state.osd_capacity[n0:] == 2.0).all()
+    assert (state.osd_service_rate[n0:] == 1600.0).all()
+    assert (state.osd_rated_life[n0:] == 9000.0).all()
+    assert state.osd_alive[n0:].all()
+    assert state.degraded  # off-nominal capacity => effective-load path
+    state.validate()
+
+
+def test_add_defaults_inherit_cluster_defaults(make_cfg):
+    cfg = make_cfg()
+    plan = TopologyPlan.parse("add:2@3", num_osds=cfg.num_osds)
+    state, runtime = _grown_state(cfg, plan)
+    runtime.step(state, epoch=3)
+    assert (state.osd_capacity[-2:] == 1.0).all()
+    assert np.isinf(state.osd_service_rate[-2:]).all()
+    assert np.isinf(state.osd_rated_life[-2:]).all()
+    assert not state.degraded  # nominal capacity keeps the healthy fast path
+
+
+def test_drain_marks_then_retire_removes(make_cfg):
+    cfg = make_cfg()
+    plan = TopologyPlan.parse("drain:1@7", num_osds=cfg.num_osds)
+    state, runtime = _grown_state(cfg, plan)
+    state.osd_queue_depth[1] = 5.0
+    (ev,) = runtime.step(state, epoch=7)
+    assert ev.kind == "drain" and ev.osd == 1
+    assert state.osd_draining[1] and state.osd_alive[1]  # still alive: graceful
+    runtime.retire(state, 1)
+    assert not state.osd_alive[1]
+    assert state.osd_capacity[1] == 0.0
+    assert state.osd_queue_depth[1] == 0.0  # no queue work counts as lost
+    assert state.degraded
+
+
+# ---------------------------------------------------------------------------
+# End-to-end engine runs
+
+
+ELASTIC = dict(epochs=48, requests_per_epoch=2048, chunks_per_osd=16)
+
+
+def test_scale_out_end_to_end(make_cfg):
+    cfg = make_cfg(topology="add:4@16/cap:2,rate:1600", service="rate:800;queue:64",
+                   num_osds=8, **ELASTIC)
+    m = simulate(cfg)
+    assert m["topology"] == cfg.topology
+    assert m["osds_total_final"] == 12
+    assert m["osds_added_total"] == 4
+    assert m["osds_drained_total"] == 0
+    assert len(m["per_osd_wear"]) == 12
+    # The cold band ends with real load: the policy moved work onto it.
+    assert m["cold_load_share_final"] > 0.0
+    assert m["cold_wear_max"] > 0.0
+
+
+def test_drain_end_to_end(make_cfg):
+    cfg = make_cfg(topology="add:2@8;drain:0@24", num_osds=8, **ELASTIC)
+    m = simulate(cfg)
+    assert m["osds_total_final"] == 10
+    assert m["osds_alive_final"] == 9
+    assert m["osds_drained_total"] == 1
+    assert m["drain_moves_total"] > 0  # evacuation actually moved chunks
+    # The drained OSD's wear froze once it retired; survivors kept wearing.
+    assert m["per_osd_wear"][0] < max(m["per_osd_wear"])
+
+
+def test_elastic_run_is_deterministic(make_cfg):
+    cfg = make_cfg(topology="add:2@8/cap:2;drain:1@24", num_osds=8, **ELASTIC)
+    assert simulate(cfg) == simulate(cfg)
+
+
+def test_static_config_unchanged_by_topology_field(make_cfg):
+    """topology='' must be bit-identical to a config that predates the field."""
+    assert simulate(make_cfg()) == simulate(make_cfg(topology=""))
