@@ -17,6 +17,8 @@ Stable public API (everything in ``__all__``):
                           ``--service`` spec (``rate:800;queue:64``)
     TopologyPlan       -- elastic-cluster reshaping schedule parsed from a
                           ``--topology`` spec (``add:4@128/cap:2;drain:0@192``)
+    RedundancyScheme   -- m+k chunk-group placement scheme parsed from a
+                          ``--redundancy`` spec (``rep:3`` / ``ec:4+2``)
     SpecError          -- what every spec grammar (faults / endurance /
                           service / topology) raises on a malformed or
                           invalid spec string
@@ -63,6 +65,7 @@ from edm.obs import (
     write_span_events,
 )
 from edm.policies import resolve_policy
+from edm.redundancy import RedundancyScheme
 from edm.service import ServiceModel
 from edm.spec import SpecError
 from edm.sweep import SweepResult, default_grid, sweep
@@ -76,7 +79,7 @@ from edm.telemetry import (
 )
 from edm.topology import TopologyPlan
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "DecisionRecorder",
@@ -90,6 +93,7 @@ __all__ = [
     "SpecError",
     "SweepResult",
     "Recorder",
+    "RedundancyScheme",
     "RunLogWriter",
     "TimeSeries",
     "TimeSeriesRecorder",

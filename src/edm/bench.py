@@ -130,7 +130,12 @@ def run_bench(
     kernel: str = "auto",
 ) -> dict:
     overrides = {"epochs": 32, "requests_per_epoch": 1024} if quick else {}
-    grid = default_grid(kernel=kernel, **overrides)
+    # The bench grid is pinned to the paper's four policies (64 configs):
+    # perf history comparisons (`bench --compare`) require the workload mix
+    # to stay constant across releases, so zoo additions must not grow it.
+    grid = default_grid(
+        policies=("baseline", "cdf", "hdf", "cmt"), kernel=kernel, **overrides
+    )
 
     log.info("cold sweep: %d configs (force re-simulate)", len(grid))
     t0 = time.perf_counter()

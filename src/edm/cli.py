@@ -114,6 +114,17 @@ def _topology_scenarios(spec: str) -> list[str]:
     return scenarios or [""]
 
 
+def _redundancy_scenarios(spec: str) -> list[str]:
+    """Split a comma-separated ``--redundancy`` value into scheme specs.
+
+    A redundancy spec is a single clause (``rep:3`` / ``ec:4+2``) with no
+    internal separators, so the grid-axis separator is ``,``; ``none`` (or
+    an empty entry) names the redundancy-free cluster.
+    """
+    scenarios = [("" if s == "none" else s) for s in _csv(spec)]
+    return scenarios or [""]
+
+
 def cmd_run(args) -> int:
     cfg = SimConfig(
         workload=args.workload,
@@ -124,6 +135,7 @@ def cmd_run(args) -> int:
         endurance="" if args.endurance == "none" else args.endurance,
         service="" if args.service == "none" else args.service,
         topology="" if args.topology == "none" else args.topology,
+        redundancy="" if args.redundancy == "none" else args.redundancy,
         **_overrides(args),
     )
     recorders = []
@@ -175,6 +187,7 @@ def cmd_sweep(args) -> int:
         endurance=_endurance_scenarios(args.endurance),
         service=_service_scenarios(args.service),
         topology=_topology_scenarios(args.topology),
+        redundancy=_redundancy_scenarios(args.redundancy),
         **_overrides(args),
     )
     result = sweep(
@@ -348,6 +361,13 @@ def main(argv: list[str] | None = None) -> int:
         "('none' = static cluster)",
     )
     run_p.add_argument(
+        "--redundancy",
+        default="",
+        metavar="SPEC",
+        help="redundancy scheme, e.g. 'rep:3' (3-way replication) or 'ec:4+2' "
+        "(4 data + 2 parity chunks per group; 'none' = no redundancy)",
+    )
+    run_p.add_argument(
         "--explain",
         nargs="?",
         const="",
@@ -447,6 +467,14 @@ def main(argv: list[str] | None = None) -> int:
         help="'|'-separated topology plans as an extra grid axis (plans use "
         "';' and ',' internally; 'none' = static cluster), e.g. "
         "'none|add:4@128/cap:2,rate:1600;drain:0@192'",
+    )
+    sweep_p.add_argument(
+        "--redundancy",
+        default="",
+        metavar="SPECS",
+        help="comma-separated redundancy schemes as an extra grid axis "
+        "(a scheme is a single 'rep:N' or 'ec:M+K' clause; 'none' = no "
+        "redundancy), e.g. 'none,rep:3,ec:4+2'",
     )
     sweep_p.add_argument(
         "--quick",

@@ -51,6 +51,7 @@ SEED_EXCLUDED_FIELDS = (
     "service_migration_cost",
     "service_cooldown_epochs",
     "topology",
+    "redundancy",
 )
 
 # Fields excluded from the *result* content hash.  The kernel backend is an
@@ -66,7 +67,11 @@ HASH_EXCLUDED_FIELDS = ("kernel",)
 KERNELS = ("auto", "numpy", "numba")
 
 WORKLOADS = ("deasna", "deasna2", "lair62", "lair62b")
-POLICIES = ("baseline", "cdf", "hdf", "cmt")
+# Canonical policy names.  Kept as a literal tuple (the config layer cannot
+# import edm.policies -- policies import this module); the registry in
+# edm.policies asserts at import time that its classes match this list, and
+# tests/test_policies.py pins the two against each other.
+POLICIES = ("baseline", "cdf", "hdf", "cmt", "pswl", "consolidate")
 
 # Accepted spellings for canonical policy names.  Aliases are resolved before
 # validation and hashing, so SimConfig(policy="edm") and policy="cmt" are the
@@ -151,6 +156,17 @@ class SimConfig:
     # traffic -- is fixed at the initial cluster size, so an elastic run
     # replays exactly the static run's request stream.
     topology: str = ""
+
+    # Redundancy scheme: empty string = independent chunks.  Parsed and
+    # canonicalized by edm.redundancy.spec (``rep:3`` / ``ec:4+2``);
+    # consecutive chunks form placement groups whose members must live on
+    # pairwise-distinct OSDs (round-robin initial layout instead of the
+    # contiguous default), and a failed OSD's chunks are *reconstructed* --
+    # surviving group members read, a fresh copy written -- instead of
+    # merely re-placed.  Like ``faults``, the spec never feeds the workload
+    # RNG: traffic is drawn per chunk, so a redundant run replays exactly
+    # the plain run's request stream against a different layout.
+    redundancy: str = ""
 
     # Epoch-kernel backend: "numpy" (default fused NumPy kernel), "numba"
     # (optional JIT, requires the [jit] extra), or "auto" (numba if
@@ -239,6 +255,39 @@ class SimConfig:
                                 f"give the add a 'rate:' attribute or add a "
                                 f"default rate"
                             )
+        if self.redundancy:
+            from edm.redundancy.spec import RedundancyScheme
+            from edm.spec import SpecError
+
+            scheme = RedundancyScheme.parse(self.redundancy, num_osds=self.num_osds)
+            object.__setattr__(self, "redundancy", scheme.spec)
+            width = scheme.group_width
+            # A placement group needs `width` distinct live OSDs for its
+            # whole lifetime; catch plans that provably shrink the cluster
+            # below that at config time rather than mid-run.
+            if self.faults:
+                from edm.faults import FaultPlan
+
+                plan = FaultPlan.parse(self.faults, num_osds=self.num_osds)
+                survivors = self.num_osds - len(plan.failures)
+                if survivors < width:
+                    raise SpecError(
+                        f"redundancy scheme {self.redundancy!r} needs "
+                        f"{width} distinct OSDs per group, but fault plan "
+                        f"{self.faults!r} leaves only {survivors} of "
+                        f"{self.num_osds} alive"
+                    )
+            if self.topology:
+                from edm.topology import TopologyPlan
+
+                plan = TopologyPlan.parse(self.topology, num_osds=self.num_osds)
+                final = plan.final_osds(self.num_osds)
+                if final < width:
+                    raise SpecError(
+                        f"redundancy scheme {self.redundancy!r} needs "
+                        f"{width} distinct OSDs per group, but topology plan "
+                        f"{self.topology!r} drains the cluster down to {final}"
+                    )
 
     @property
     def num_chunks(self) -> int:
@@ -256,10 +305,11 @@ class SimConfig:
 
         Fault scenarios append a short spec digest (``-f1a2b3c4``),
         endurance models another (``-e5d6e7f8``), service models a third
-        (``-q9a8b7c6``), and topology plans a fourth (``-t0d1e2f3``) so the
+        (``-q9a8b7c6``), topology plans a fourth (``-t0d1e2f3``), and
+        redundancy schemes a fifth (``-g4e5f6a7``, g for *group*) so the
         same base config under different scenarios never collides on
-        filename; healthy, unrated, unserviced, static configs keep the
-        historical stem byte-for-byte.
+        filename; healthy, unrated, unserviced, static, plain configs keep
+        the historical stem byte-for-byte.
         """
         stem = f"{self.workload}-{self.num_osds}osd-{self.policy}-s{self.skew:g}-r{self.seed}"
         if self.faults:
@@ -270,6 +320,8 @@ class SimConfig:
             stem += f"-q{hashlib.sha256(self.service.encode()).hexdigest()[:8]}"
         if self.topology:
             stem += f"-t{hashlib.sha256(self.topology.encode()).hexdigest()[:8]}"
+        if self.redundancy:
+            stem += f"-g{hashlib.sha256(self.redundancy.encode()).hexdigest()[:8]}"
         return stem
 
 
@@ -278,9 +330,10 @@ def config_hash(cfg: SimConfig) -> str:
 
     Excludes :data:`HASH_EXCLUDED_FIELDS` (the kernel backend): fields that
     cannot change results must not fragment or invalidate the cache.  An
-    *empty* ``topology`` is likewise dropped from the payload: a static
-    config computes bit-identical metrics with or without the field, so
-    introducing it must not invalidate any pre-existing cache entry.
+    *empty* ``topology`` or ``redundancy`` is likewise dropped from the
+    payload: a static, plain config computes bit-identical metrics with or
+    without the field, so introducing it must not invalidate any
+    pre-existing cache entry.
 
     ``service_metrics_rev`` re-keys only serviced configs: revision 2 fixed
     the degraded-mode queue-depth aggregates (dead OSDs no longer counted as
@@ -293,6 +346,8 @@ def config_hash(cfg: SimConfig) -> str:
         payload.pop(field_name, None)
     if not payload.get("topology"):
         payload.pop("topology", None)
+    if not payload.get("redundancy"):
+        payload.pop("redundancy", None)
     if payload.get("service"):
         payload["service_metrics_rev"] = 2
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()

@@ -38,6 +38,15 @@ with no lost queue work.  Every fired event fans out to recorders via
 ``on_topology``.  Static configs skip this path entirely and stay
 bit-identical to the topology-unaware engine.
 
+With a redundancy scheme configured (``cfg.redundancy``), chunks form
+placement groups (replica or erasure-code stripes, see
+:mod:`edm.redundancy`) whose members must live on pairwise-distinct OSDs:
+initial placement is round-robin, every destination pick is
+group-constrained, and a failed OSD's chunks are *reconstructed* -- reads
+charged to surviving group members' service queues, the rebuild write
+charged as migration wear -- instead of merely re-placed.  Plain configs
+carry no group state and skip every constraint check.
+
 With a service model configured (``cfg.service``), every OSD additionally
 carries a service rate and a bounded queue: after each kernel call the
 :class:`~edm.service.ServiceRuntime` steps the per-OSD queue recursion
@@ -66,6 +75,8 @@ from edm.faults import FaultPlan, FaultRuntime, effective_load
 from edm.obs.decisions import Decision
 from edm.obs.trace import NULL_TRACER, Tracer
 from edm.policies import MigrationPolicy, get_policy
+from edm.policies.base import group_constrained
+from edm.redundancy import RedundancyRuntime, RedundancyScheme
 from edm.service import ServiceModel, ServiceRuntime
 from edm.telemetry.recorder import EpochStats, Recorder
 from edm.topology import TopologyPlan, TopologyRuntime
@@ -255,12 +266,53 @@ def _assign_replacements_explained(
     return dsts
 
 
+def _assign_replacements_grouped(
+    order: np.ndarray,
+    proj: np.ndarray,
+    alive_ids: np.ndarray,
+    policy: MigrationPolicy,
+    state: ClusterState,
+    cfg: SimConfig,
+    dead_osd: int,
+    emit,
+) -> np.ndarray:
+    """Sequential assignment under the redundancy spread constraint.
+
+    Each chunk's candidate set excludes OSDs already holding a member of its
+    placement group, so the set varies per chunk and the prefix-replay trick
+    of the batched path does not apply.  The burst can never create an
+    intra-burst conflict: the spread invariant guarantees at most one chunk
+    per group lives on ``dead_osd``, so no two chunks in ``order`` share a
+    group.  With ``emit`` set, each pick is explained over its constrained
+    candidate set.
+    """
+    cap = state.osd_capacity
+    dsts = np.empty(order.size, dtype=np.int64)
+    for k, chunk in enumerate(order):
+        cand = group_constrained(alive_ids, state, int(chunk))
+        if cand.size == 0:
+            raise RuntimeError(
+                f"chunk {chunk} of placement group "
+                f"{int(state.chunk_group[chunk])} has no constraint-"
+                f"satisfying destination among {alive_ids.size} surviving OSDs"
+            )
+        if emit is None:
+            dst = policy.pick_destination(cand, proj, state, cfg)
+        else:
+            dst, terms, scores = policy.explain_destination(cand, proj, state, cfg)
+            emit(int(chunk), int(dead_osd), dst, cand, terms, scores)
+        dsts[k] = dst
+        proj[dst] += state.chunk_heat[chunk] / cap[dst]
+    return dsts
+
+
 def replace_dead_chunks(
     state: ClusterState,
     dead_osd: int,
     policy: MigrationPolicy,
     cfg: SimConfig,
     emit=None,
+    redundancy: RedundancyRuntime | None = None,
 ) -> int:
     """Re-place every chunk of a failed (or draining) OSD; returns how many moved.
 
@@ -279,6 +331,15 @@ def replace_dead_chunks(
     callback, see :mod:`edm.obs.decisions`), the burst runs the explained
     sequential path instead -- same destinations, plus one decision record
     per re-placed chunk.
+
+    Redundant configs (``state.chunk_group`` set) take the group-constrained
+    sequential path -- the candidate set varies per chunk, so the batched
+    prefix replay does not apply -- and, when ``redundancy`` (the run's
+    :class:`~edm.redundancy.RedundancyRuntime`) is given and ``dead_osd`` is
+    actually dead, the burst is charged as *reconstruction*: surviving group
+    members are read into the service queues on top of the ordinary
+    migration-write wear.  A drain (``dead_osd`` still alive) stays a plain
+    group-constrained evacuation.
     """
     chunks = np.flatnonzero(state.chunk_owner == dead_osd)
     if chunks.size == 0:
@@ -294,7 +355,11 @@ def replace_dead_chunks(
         )
     proj = effective_load(state.osd_load_ema, state.osd_capacity, state.osd_alive)
     order = chunks[np.argsort(-state.chunk_heat[chunks], kind="stable")]
-    if emit is not None:
+    if state.chunk_group is not None:
+        dsts = _assign_replacements_grouped(
+            order, proj, alive_ids, policy, state, cfg, dead_osd, emit
+        )
+    elif emit is not None:
         dsts = _assign_replacements_explained(
             order, proj, alive_ids, policy, state, cfg, dead_osd, emit
         )
@@ -305,6 +370,10 @@ def replace_dead_chunks(
             else _assign_replacements_loop
         )
         dsts = assign(order, proj, alive_ids, policy, state, cfg)
+    if redundancy is not None and not state.osd_alive[dead_osd]:
+        # Charge the read side of the rebuild before ownership moves (the
+        # write side is ordinary migration wear via apply_migrations).
+        redundancy.on_reconstruction(state, order)
     moves = np.column_stack((order, dsts))
     return apply_migrations(state, moves, cfg)
 
@@ -355,8 +424,10 @@ def simulate(
             if topo_plan
             else None
         )
+        scheme = RedundancyScheme.parse(cfg.redundancy, num_osds=cfg.num_osds)
+        redundancy = RedundancyRuntime(scheme, cfg) if scheme else None
         kernel = make_kernel(cfg)
-        acc = MetricsAccumulator(service=service)
+        acc = MetricsAccumulator(service=service, redundancy=redundancy)
         observers: tuple[Recorder, ...] = (acc, *recorders)
         # Decision provenance is opt-in: only recorders that *override*
         # on_decision flip selection/re-placement onto the explained path
@@ -411,7 +482,8 @@ def simulate(
                             endurance.grow(state)
                     else:  # drain: evacuate gracefully, then retire
                         moved = replace_dead_chunks(
-                            state, event.osd, policy, cfg, emit=emit_drain
+                            state, event.osd, policy, cfg, emit=emit_drain,
+                            redundancy=redundancy,
                         )
                         topology.retire(state, event.osd)
                     for rec in observers:
@@ -422,7 +494,8 @@ def simulate(
                     replaced = 0
                     if event.kind == "fail":
                         replaced = replace_dead_chunks(
-                            state, event.osd, policy, cfg, emit=emit_fault
+                            state, event.osd, policy, cfg, emit=emit_fault,
+                            redundancy=redundancy,
                         )
                     for rec in observers:
                         rec.on_fault(state, event, replaced)
@@ -432,7 +505,8 @@ def simulate(
                 # through the active policy, same on_fault observer fan-out.
                 for event in endurance.step(state, epoch):
                     replaced = replace_dead_chunks(
-                        state, event.osd, policy, cfg, emit=emit_wearout
+                        state, event.osd, policy, cfg, emit=emit_wearout,
+                        redundancy=redundancy,
                     )
                     for rec in observers:
                         rec.on_fault(state, event, replaced)

@@ -15,6 +15,10 @@ Paper metrics:
   * topology (elastic configs only) -- add/drain event counts, drain
     evacuation moves, and cold-drive wear uptake / final load share for
     the drives scale-out added.
+  * redundancy (redundant configs only) -- reconstruction chunk/read
+    counts and data volumes, plus unrecoverable-group data loss,
+    accumulated by :class:`edm.redundancy.RedundancyRuntime` and merged
+    here.
 
 ``MetricsAccumulator`` is the engine's always-on :class:`~edm.telemetry.Recorder`:
 it rides the same observer hooks as user-supplied telemetry, and its
@@ -38,13 +42,16 @@ _COV_BLOCK = 4096
 
 
 class MetricsAccumulator(Recorder):
-    def __init__(self, service=None):
+    def __init__(self, service=None, redundancy=None):
         # ``service`` is the run's ServiceRuntime (None when no service
         # spec): its latency/queue aggregates join the final metrics dict,
         # keyed on so unserviced dicts stay bit-identical to the
-        # service-unaware engine.
+        # service-unaware engine.  ``redundancy`` (the run's
+        # RedundancyRuntime, None when no scheme) contributes the
+        # reconstruction-traffic block the same way.
         self.cfg: SimConfig | None = None
         self._service = service
+        self._redundancy = redundancy
 
     def on_run_start(self, cfg: SimConfig, state: ClusterState) -> None:
         self.cfg = cfg
@@ -219,8 +226,11 @@ class MetricsAccumulator(Recorder):
             # metrics dicts stay bit-identical to the endurance-unaware
             # engine.  Lifetime stats are alive-masked: a worn-out OSD's
             # zero remaining life describes a drive that already failed.
+            # Topology-added drives carry no rating (infinite remaining
+            # life) and are excluded, else their inf poisons mean/std.
             alive = state.osd_alive
             rem = state.remaining_life()[alive]
+            rem = rem[np.isfinite(rem)]
             rem_mean = float(rem.mean()) if rem.size else 0.0
             pred = state.predicted_wearout_epochs()[alive]
             pred_min = float(pred.min()) if pred.size else np.inf
@@ -265,4 +275,10 @@ class MetricsAccumulator(Recorder):
             # present only for serviced configs so unserviced metrics dicts
             # stay bit-identical to the service-unaware engine.
             out.update(self._service.metrics_block())
+        if self._redundancy is not None:
+            # Reconstruction metrics (group width, rebuild reads/writes,
+            # data loss), present only for redundant configs so plain
+            # metrics dicts stay bit-identical to the redundancy-unaware
+            # engine.
+            out.update(self._redundancy.metrics_block())
         return out

@@ -42,6 +42,11 @@ class ClusterState:
     # Topology state (static defaults filled in by __post_init__; N grows at
     # scale-out events, every per-OSD array above growing in lockstep)
     osd_draining: np.ndarray = None  # bool [N], True once a drain marked the OSD source-only
+    # Redundancy state (plain configs carry None/0 and skip every group
+    # check).  Groups are consecutive id ranges of group_width chunks whose
+    # members must live on pairwise-distinct OSDs.
+    chunk_group: np.ndarray = None   # int32 [C], placement-group id per chunk (None = plain)
+    group_width: int = 0             # chunks per group (0 = plain)
     degraded: bool = False           # True while any OSD is dead or off-nominal
     epoch: int = 0
     migrations_total: int = 0
@@ -111,6 +116,14 @@ class ClusterState:
             # drain epoch; surviving the boundary means the engine skipped
             # the retire step.
             raise AssertionError("draining OSD survived its drain epoch un-retired")
+        if self.chunk_group is not None:
+            # The redundancy spread constraint: every (group, owner) pair is
+            # unique, i.e. no placement group co-locates two chunks.
+            key = self.chunk_group.astype(np.int64) * self.num_osds + self.chunk_owner
+            if np.unique(key).size != self.num_chunks:
+                raise AssertionError(
+                    "placement group co-locates two chunks on one OSD"
+                )
 
     def eligible_mask(self, cfg: SimConfig) -> np.ndarray:
         """Chunks past their migration cooldown window."""
@@ -144,15 +157,35 @@ def init_state(cfg: SimConfig) -> ClusterState:
     Combined with rank-ordered Zipf popularity this concentrates the hot set
     on low-numbered OSDs, the realistic sequential-layout worst case that
     migration policies exist to fix.
+
+    With a redundancy scheme configured (``cfg.redundancy``), placement is
+    round-robin instead -- chunk i on OSD i % num_osds -- because contiguous
+    blocks would put a whole placement group on one OSD.  Round-robin
+    satisfies the spread constraint by construction: a group is a window of
+    ``group_width`` consecutive ids, and ``group_width <= num_osds``
+    (validated at config time), so its owners are pairwise distinct.
     """
     c, n = cfg.num_chunks, cfg.num_osds
+    group = None
+    width = 0
+    if cfg.redundancy:
+        from edm.redundancy.spec import RedundancyScheme
+
+        scheme = RedundancyScheme.parse(cfg.redundancy, num_osds=n)
+        width = scheme.group_width
+        owner = (np.arange(c, dtype=np.int64) % n).astype(np.int32)
+        group = (np.arange(c, dtype=np.int64) // width).astype(np.int32)
+    else:
+        owner = (np.arange(c, dtype=np.int64) // cfg.chunks_per_osd).astype(np.int32)
     return ClusterState(
         num_osds=n,
         num_chunks=c,
-        chunk_owner=(np.arange(c, dtype=np.int64) // cfg.chunks_per_osd).astype(np.int32),
+        chunk_owner=owner,
         chunk_heat=np.zeros(c),
         chunk_write_heat=np.zeros(c),
         chunk_last_migrated=np.full(c, -(10**9), dtype=np.int64),
         osd_wear=np.zeros(n),
         osd_load_ema=np.zeros(n),
+        chunk_group=group,
+        group_width=width,
     )

@@ -4,20 +4,48 @@
 ``edm`` is accepted as an alias.  ``resolve_policy`` is the one place alias
 spellings become canonical names -- the CLI, ``SimConfig`` validation, and the
 registry all route through the same ``POLICY_ALIASES`` table.
+
+The registry is keyed by each class's ``name`` and must match the canonical
+name tuple in :data:`edm.config.POLICIES` exactly (asserted at import time;
+the config layer cannot import this package, so the tuple is maintained by
+hand there and cross-checked here).
 """
 
 from __future__ import annotations
 
+from edm.config import POLICIES as _CANONICAL_NAMES
 from edm.config import POLICY_ALIASES
-from edm.policies.base import MigrationPolicy, ThresholdPolicy, EMPTY_MOVES
+from edm.policies.base import (
+    EMPTY_MOVES,
+    MigrationPolicy,
+    NormalizedScorePolicy,
+    ThresholdPolicy,
+)
 from edm.policies.baseline import BaselinePolicy
 from edm.policies.cdf import CdfPolicy
+from edm.policies.consolidate import ConsolidatePolicy
 from edm.policies.hdf import HdfPolicy
 from edm.policies.cmt import CmtPolicy
+from edm.policies.pswl import PswlPolicy
 
 POLICIES: dict[str, type[MigrationPolicy]] = {
-    cls.name: cls for cls in (BaselinePolicy, CdfPolicy, HdfPolicy, CmtPolicy)
+    cls.name: cls
+    for cls in (
+        BaselinePolicy,
+        CdfPolicy,
+        HdfPolicy,
+        CmtPolicy,
+        PswlPolicy,
+        ConsolidatePolicy,
+    )
 }
+
+if set(POLICIES) != set(_CANONICAL_NAMES):  # pragma: no cover - import guard
+    raise RuntimeError(
+        f"policy registry {sorted(POLICIES)} drifted from "
+        f"edm.config.POLICIES {sorted(_CANONICAL_NAMES)}; update both in the "
+        f"same commit"
+    )
 
 
 def resolve_policy(name: str) -> str:
@@ -39,6 +67,7 @@ __all__ = [
     "resolve_policy",
     "MigrationPolicy",
     "ThresholdPolicy",
+    "NormalizedScorePolicy",
     "EMPTY_MOVES",
     "POLICIES",
     "get_policy",
@@ -46,4 +75,6 @@ __all__ = [
     "CdfPolicy",
     "HdfPolicy",
     "CmtPolicy",
+    "PswlPolicy",
+    "ConsolidatePolicy",
 ]

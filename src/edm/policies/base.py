@@ -20,6 +20,12 @@ is bit-identical to the fault-unaware engine.
 Draining OSDs (topology scale-in, ``state.osd_draining``) are masked out of
 destination candidates everywhere a policy picks one: a drive being
 evacuated is a migration *source* only, never a landing spot.
+
+Redundant placement (``state.chunk_group`` set, see :mod:`edm.redundancy`):
+a chunk's destination candidates additionally exclude every OSD holding
+another member of its placement group, so no group ever co-locates two
+chunks on one OSD.  Plain configs carry ``chunk_group=None`` and skip the
+filter entirely, keeping their selection bit-identical.
 """
 
 from __future__ import annotations
@@ -33,6 +39,24 @@ from edm.engine.state import ClusterState
 from edm.faults import effective_load
 
 EMPTY_MOVES = np.empty((0, 2), dtype=np.int64)
+
+
+def group_constrained(
+    candidates: np.ndarray, state: ClusterState, chunk: int
+) -> np.ndarray:
+    """Drop candidates already holding a member of ``chunk``'s placement group.
+
+    No-op (the exact same array) when the config carries no redundancy
+    scheme.  The chunk's own owner is among the excluded -- moving a chunk
+    onto its current OSD is never useful -- and group membership is the
+    consecutive-id layout of :func:`edm.engine.state.init_state`.
+    """
+    if state.chunk_group is None:
+        return candidates
+    w = state.group_width
+    lo = (int(chunk) // w) * w
+    owners = state.chunk_owner[lo : min(lo + w, state.num_chunks)]
+    return candidates[~np.isin(candidates, owners)]
 
 
 def sum_terms(terms: dict[str, np.ndarray]) -> np.ndarray:
@@ -183,6 +207,13 @@ class ThresholdPolicy(MigrationPolicy):
 
         budget = cfg.max_migrations_per_interval
         moves: list[tuple[int, int]] = []
+        # Destinations already claimed this round, per placement group:
+        # chunk_owner only changes when the engine applies the moves, so two
+        # same-group chunks selected in one round would otherwise not see
+        # each other's landing spots.  (Redundant configs only.)
+        claimed: dict[int, list[int]] | None = (
+            {} if state.chunk_group is not None else None
+        )
         # Heaviest sources first.
         for src in overloaded[np.argsort(-proj[overloaded])]:
             if budget <= 0:
@@ -198,6 +229,16 @@ class ThresholdPolicy(MigrationPolicy):
                 )
                 if under.size == 0:
                     break
+                under = group_constrained(under, state, chunk)
+                if claimed is not None:
+                    taken = claimed.get(int(state.chunk_group[chunk]))
+                    if taken:
+                        under = under[~np.isin(under, taken)]
+                if under.size == 0:
+                    # Every underloaded OSD already holds (or was just
+                    # claimed for) a member of this chunk's placement
+                    # group; the next chunk may differ.
+                    continue
                 if emit is None:
                     dst = self.pick_destination(under, proj, state, cfg)
                     terms = scores = None
@@ -213,6 +254,8 @@ class ThresholdPolicy(MigrationPolicy):
                     continue
                 if emit is not None:
                     emit(int(chunk), int(src), dst, under, terms, scores)
+                if claimed is not None:
+                    claimed.setdefault(int(state.chunk_group[chunk]), []).append(dst)
                 moves.append((int(chunk), dst))
                 proj[src] -= heat / cap[src]
                 proj[dst] += heat_dst
@@ -220,3 +263,69 @@ class ThresholdPolicy(MigrationPolicy):
         if not moves:
             return EMPTY_MOVES
         return np.asarray(moves, dtype=np.int64)
+
+
+class NormalizedScorePolicy(ThresholdPolicy):
+    """Destination scoring over cluster-mean-normalized load, with hooks.
+
+    The scoring shape CMT established, factored so the zoo shares one
+    scalar/batch pairing: the projected load of each candidate is normalized
+    by the mean over *alive* OSDs (cluster-wide, never the candidate subset,
+    so a drive's score is independent of who else is a candidate), then
+
+      * :meth:`load_terms` maps that normalized load to one or more score
+        terms with shape-agnostic arithmetic (the same expression must work
+        on a 1-D candidate vector and a 2-D rows x candidates matrix), and
+      * :meth:`static_destination_terms` appends terms that do not depend on
+        projected load at all (wear, wear-out risk) -- frozen across a
+        re-placement burst, broadcast across batch rows.
+
+    ``destination_terms`` folds load terms first, static terms after, in
+    insertion order; ``pick_destination_batch`` replays the identical
+    floating-point sequence row-wise, so every subclass gets a batch path
+    provably bit-identical to its scalar pick (pinned by
+    tests/test_policy_conformance.py across the whole registry).
+    """
+
+    def load_terms(
+        self, load_norm: np.ndarray, state: ClusterState, cfg: SimConfig
+    ) -> dict[str, np.ndarray]:
+        """Score terms computed from the normalized projected load."""
+        return {"load": load_norm}
+
+    def static_destination_terms(
+        self, candidates: np.ndarray, state: ClusterState, cfg: SimConfig
+    ) -> dict[str, np.ndarray]:
+        """Load-independent score terms, aligned with ``candidates``."""
+        return {}
+
+    def destination_terms(self, candidates, proj_load, state, cfg):
+        load = proj_load[candidates]
+        alive = state.osd_alive
+        mean_load = proj_load[alive].mean() if alive.any() else 0.0
+        load_norm = load / mean_load if mean_load > 0 else load
+        terms = dict(self.load_terms(load_norm, state, cfg))
+        terms.update(self.static_destination_terms(candidates, state, cfg))
+        return terms
+
+    def pick_destination_batch(self, candidates, proj_rows, state, cfg):
+        """Row-wise scoring, bit-identical to the scalar pick.
+
+        Each row normalizes by its own alive-mean, falling back to the raw
+        load for rows whose mean is not positive -- the same branch the
+        scalar path takes.  Load terms fold first, then static terms (1-D,
+        broadcast across rows) are added in order: the exact addition
+        sequence of ``sum_terms`` over :meth:`destination_terms`.
+        """
+        alive = state.osd_alive
+        load = proj_rows[:, candidates]
+        if alive.any():
+            mean_load = proj_rows[:, alive].mean(axis=1)[:, None]
+        else:
+            mean_load = np.zeros((len(proj_rows), 1))
+        load_norm = load.copy()
+        np.divide(load, mean_load, out=load_norm, where=mean_load > 0)
+        score = sum_terms(self.load_terms(load_norm, state, cfg))
+        for term in self.static_destination_terms(candidates, state, cfg).values():
+            score = score + term
+        return candidates[np.argmin(score, axis=1)]

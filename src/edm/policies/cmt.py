@@ -20,79 +20,38 @@ endurance-unaware policy.
 import numpy as np
 
 from edm.endurance import wearout_risk
-from edm.policies.base import ThresholdPolicy
+from edm.policies.base import NormalizedScorePolicy
 
 
-class CmtPolicy(ThresholdPolicy):
+class CmtPolicy(NormalizedScorePolicy):
     name = "cmt"
 
     def chunk_order(self, chunk_ids, state):
         return chunk_ids[np.argsort(-state.chunk_heat[chunk_ids])]
 
-    def destination_terms(self, candidates, proj_load, state, cfg):
-        """CMT's blended score, decomposed: load + wear (+ wear-out risk).
+    def static_destination_terms(self, candidates, state, cfg):
+        """CMT's load-independent score terms: wear (+ wear-out risk).
 
-        The base class folds these left to right into the destination score
-        (the historical ``(load_norm + wear_term) + risk_term`` addition
-        order), so the scalar pick, the explained pick, and the batch replay
-        all score from this one definition.
-        """
-        load = proj_load[candidates]
-        # Normalize load, wear, and wear-out risk by *cluster-wide* scales
-        # (mean over alive OSDs), never by the candidate subset: a drive's
-        # score -- and hence the trade-off between the terms -- must not
-        # change with who else happens to be a candidate this round.
-        alive = state.osd_alive
-        mean_load = proj_load[alive].mean() if alive.any() else 0.0
-        load_norm = load / mean_load if mean_load > 0 else load
-        wear_term, risk_term = self._static_score_terms(candidates, state, cfg)
-        terms = {"load": load_norm, "wear": wear_term}
-        if risk_term is not None:
-            terms["wearout_risk"] = risk_term
-        return terms
-
-    def pick_destination_batch(self, candidates, proj_rows, state, cfg):
-        """Row-wise CMT scoring, bit-identical to the scalar pick.
-
-        Only the load term varies across rows (wear and wear-out risk are
-        frozen while a re-placement burst runs); each row normalizes by its
-        own alive-mean, falling back to the raw load for rows whose mean is
-        not positive -- the same branch the scalar path takes.  Every
-        floating-point operation broadcasts the scalar path's exact
-        sequence, so row ``i`` scores byte-equal to a scalar pick at that
-        projected load.
-        """
-        alive = state.osd_alive
-        load = proj_rows[:, candidates]
-        if alive.any():
-            mean_load = proj_rows[:, alive].mean(axis=1)[:, None]
-        else:
-            mean_load = np.zeros((len(proj_rows), 1))
-        load_norm = load.copy()
-        np.divide(load, mean_load, out=load_norm, where=mean_load > 0)
-        wear_term, risk_term = self._static_score_terms(candidates, state, cfg)
-        score = load_norm + wear_term
-        if risk_term is not None:
-            score = score + risk_term
-        return candidates[np.argmin(score, axis=1)]
-
-    def _static_score_terms(self, candidates, state, cfg):
-        """Wear and wear-out-risk score terms: independent of projected load.
-
-        Returns ``(wear_term, risk_term-or-None)`` separately -- the scalar
-        score has always been ``(load_norm + wear_term) + risk_term``, and
-        preserving that exact addition order is what keeps the scalar and
-        batch paths (and the pinned golden hashes) bit-identical.
+        The base class folds the normalized load term first, then these in
+        insertion order -- the historical ``(load_norm + wear_term) +
+        risk_term`` addition sequence -- so the scalar pick, the explained
+        pick, and the batch replay all score from this one definition and
+        the pre-zoo golden hashes stay pinned.  Wear and wear-out risk are
+        normalized by *cluster-wide* scales (mean over alive OSDs), never by
+        the candidate subset: a drive's score -- and hence the trade-off
+        between the terms -- must not change with who else happens to be a
+        candidate this round.
         """
         alive = state.osd_alive
         wear = state.osd_wear[candidates]
         wear_scale = state.osd_wear[alive].mean() if alive.any() else 0.0
         wear_norm = wear / wear_scale if wear_scale > 0 else wear
-        wear_term = cfg.wear_weight * wear_norm
-        risk_term = None
+        terms = {"wear": cfg.wear_weight * wear_norm}
         if cfg.endurance:
             risk = wearout_risk(state)
             risk_scale = risk[alive].mean() if alive.any() else 0.0
             if risk_scale > 0:
-                risk_term = cfg.endurance_weight * (risk[candidates] / risk_scale)
-        return wear_term, risk_term
+                terms["wearout_risk"] = cfg.endurance_weight * (
+                    risk[candidates] / risk_scale
+                )
+        return terms

@@ -1,0 +1,14 @@
+"""Replicated / erasure-coded chunk-group placement and reconstruction.
+
+:class:`RedundancyScheme` (:mod:`edm.redundancy.spec`) parses the
+``--redundancy`` spec grammar (``rep:3`` / ``ec:4+2``) into a placement
+constraint: consecutive chunks form groups whose members must live on
+pairwise-distinct OSDs.  :class:`RedundancyRuntime`
+(:mod:`edm.redundancy.runtime`) accounts the read-amplified reconstruction
+traffic failures trigger under that constraint.
+"""
+
+from edm.redundancy.runtime import RedundancyRuntime, group_members
+from edm.redundancy.spec import RedundancyScheme
+
+__all__ = ["RedundancyRuntime", "RedundancyScheme", "group_members"]

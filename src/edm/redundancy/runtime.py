@@ -1,0 +1,109 @@
+"""Reconstruction-traffic accounting for redundant placement.
+
+The placement side of redundancy is static state (``ClusterState.chunk_group``
+/ ``group_width``, laid out by :func:`edm.engine.state.init_state`, enforced
+by the policy layer and the engine's re-placement path).  This runtime owns
+the *dynamic* side: when an OSD fails (scheduled fault or wear-out), each of
+its chunks is rebuilt from surviving group members instead of merely
+re-placed --
+
+  * ``reads_per_loss`` surviving chunks are read (1 for replication, M for
+    ``ec:M+K``), charged into the read sources' service queues when a
+    service model is configured (reads occupy queues but, unlike the rebuild
+    write, add no erase-count wear);
+  * one fresh chunk is written at the destination the policy picked, charged
+    as ordinary migration wear by :func:`edm.engine.core.apply_migrations`;
+  * a group with fewer survivors than the scheme needs is counted as data
+    loss (the chunk is still re-placed so ownership invariants hold).
+
+Graceful drains never charge reconstruction: the draining OSD is alive, so
+its chunks stream out as plain (group-constrained) migrations.
+
+All counters surface through :meth:`metrics_block`, merged into the final
+metrics dict only for redundant configs so plain runs stay bit-identical to
+the redundancy-unaware engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from edm.config import SimConfig
+from edm.engine.state import ClusterState
+from edm.redundancy.spec import RedundancyScheme
+
+__all__ = ["RedundancyRuntime", "group_members"]
+
+
+def group_members(state: ClusterState, chunk: int) -> np.ndarray:
+    """Chunk ids sharing ``chunk``'s placement group (including itself).
+
+    Groups are consecutive id ranges of ``state.group_width`` chunks (the
+    last group may be narrower when the chunk count is not a multiple).
+    """
+    w = state.group_width
+    lo = (int(chunk) // w) * w
+    return np.arange(lo, min(lo + w, state.num_chunks), dtype=np.int64)
+
+
+class RedundancyRuntime:
+    """Per-run reconstruction counters for one :class:`RedundancyScheme`."""
+
+    def __init__(self, scheme: RedundancyScheme, cfg: SimConfig):
+        self.scheme = scheme
+        self.cfg = cfg
+        self.reconstruction_chunks = 0
+        self.reconstruction_reads = 0
+        self.data_loss_chunks = 0
+
+    def on_reconstruction(self, state: ClusterState, lost: np.ndarray) -> None:
+        """Charge the rebuild of ``lost`` chunks (all on one just-dead OSD).
+
+        For each lost chunk, the first ``reads_per_loss`` surviving group
+        members in chunk-id order are read; their owners' queues absorb one
+        migration-equivalent of work each (when a service model is
+        configured).  Chunks whose groups lack enough survivors -- e.g.
+        several same-epoch failures hitting one group -- count as data loss
+        and charge whatever reads remain available.
+
+        A trailing *partial* group (chunk count not a multiple of the group
+        width) reconstructs as a narrower stripe: it reads however many
+        members it actually has, capped at ``reads_per_loss``, rather than
+        reporting a layout artifact as data loss.
+        """
+        cfg = self.cfg
+        read_work = np.zeros(state.num_osds)
+        for chunk in lost:
+            members = group_members(state, int(chunk))
+            peers = members[members != chunk]
+            needed = min(self.scheme.reads_per_loss, int(peers.size))
+            owners = state.chunk_owner[peers]
+            srcs = owners[state.osd_alive[owners]][:needed]
+            if srcs.size < needed:
+                self.data_loss_chunks += 1
+            self.reconstruction_reads += int(srcs.size)
+            if srcs.size:
+                read_work += np.bincount(srcs, minlength=state.num_osds)
+        self.reconstruction_chunks += int(len(lost))
+        if cfg.service and read_work.any():
+            # Reads occupy the sources' queues exactly like the streaming
+            # side of a migration copy; they drain over the same cooldown
+            # window (see edm.service.runtime).
+            state.osd_mig_backlog += read_work * cfg.service_migration_cost
+
+    def metrics_block(self) -> dict:
+        """Reconstruction metrics, merged into the final dict for redundant runs."""
+        cfg = self.cfg
+        return {
+            "redundancy": cfg.redundancy,
+            "redundancy_group_width": int(self.scheme.group_width),
+            "reconstruction_chunks_total": int(self.reconstruction_chunks),
+            "reconstruction_reads_total": int(self.reconstruction_reads),
+            "reconstruction_read_mb": float(
+                self.reconstruction_reads * cfg.chunk_size_mb
+            ),
+            "reconstruction_write_mb": float(
+                self.reconstruction_chunks * cfg.chunk_size_mb
+            ),
+            "data_loss_chunks_total": int(self.data_loss_chunks),
+        }

@@ -5,10 +5,11 @@ entries (engine-version or config drift, judged by recomputing the content
 hash from the stored config), and aggregates policy x workload cells --
 load CoV, wear spread, wear CoV, migration cost -- averaged across cluster
 sizes and seeds.  Serviced runs add tail-latency columns (p50/p99/p999 and
-the migration-spike ratio) and elastic runs add topology columns (cold-drive
-load share, drain evacuation moves), each shown only when such a scenario is
-present so plain reports keep their historical shape.  Renders markdown (for
-docs/PRs) or JSON (for tooling).
+the migration-spike ratio), elastic runs add topology columns (cold-drive
+load share, drain evacuation moves), and redundant runs add reconstruction
+columns (rebuild reads, rebuilt MB, lost chunks), each shown only when such
+a scenario is present so plain reports keep their historical shape.  Renders
+markdown (for docs/PRs) or JSON (for tooling).
 """
 
 from __future__ import annotations
@@ -46,6 +47,14 @@ TOPOLOGY_COLUMNS = (
     ("drain_moves_total", "drain moves", ".0f"),
 )
 
+# Redundancy columns, present only on runs with a redundancy scheme; plain
+# rows in a mixed report render them as "-".
+REDUNDANCY_COLUMNS = (
+    ("reconstruction_reads_total", "recon reads", ".0f"),
+    ("reconstruction_write_mb", "recon MB", ".0f"),
+    ("data_loss_chunks_total", "lost chunks", ".0f"),
+)
+
 
 @dataclass(frozen=True)
 class LoadedResults:
@@ -77,19 +86,20 @@ def load_cached_metrics(cache_dir: str | Path) -> LoadedResults:
 
 
 def aggregate(metrics_rows: list[dict]) -> list[dict]:
-    """Mean per (workload, policy, faults, endurance, service, topology)
-    cell, sorted.
+    """Mean per (workload, policy, faults, endurance, service, topology,
+    redundancy) cell, sorted.
 
-    Healthy, unrated, unserviced, static runs carry none of the ``faults`` /
-    ``endurance`` / ``service`` / ``topology`` keys and land in the
-    ``("", "", "", "")`` scenario, so a plain cache aggregates exactly as
-    before; fault scenarios, endurance models, service models and topology
-    plans become separate rows comparable side by side with their baseline.
-    Service and topology columns are averaged only where present (and only
-    over finite values -- an empty histogram's NaN percentile would
+    Healthy, unrated, unserviced, static, redundancy-free runs carry none of
+    the ``faults`` / ``endurance`` / ``service`` / ``topology`` /
+    ``redundancy`` keys and land in the ``("", "", "", "", "")`` scenario, so
+    a plain cache aggregates exactly as before; fault scenarios, endurance
+    models, service models, topology plans and redundancy schemes become
+    separate rows comparable side by side with their baseline.  Service,
+    topology and redundancy columns are averaged only where present (and
+    only over finite values -- an empty histogram's NaN percentile would
     otherwise poison the cell mean).
     """
-    groups: dict[tuple[str, str, str, str, str, str], list[dict]] = {}
+    groups: dict[tuple[str, str, str, str, str, str, str], list[dict]] = {}
     for m in metrics_rows:
         key = (
             m["workload"],
@@ -98,11 +108,12 @@ def aggregate(metrics_rows: list[dict]) -> list[dict]:
             m.get("endurance", ""),
             m.get("service", ""),
             m.get("topology", ""),
+            m.get("redundancy", ""),
         )
         groups.setdefault(key, []).append(m)
     out = []
     for key_tuple, rows in sorted(groups.items()):
-        workload, policy, faults, endurance, service, topology = key_tuple
+        workload, policy, faults, endurance, service, topology, redundancy = key_tuple
         cell = {
             "workload": workload,
             "policy": policy,
@@ -110,6 +121,7 @@ def aggregate(metrics_rows: list[dict]) -> list[dict]:
             "endurance": endurance,
             "service": service,
             "topology": topology,
+            "redundancy": redundancy,
             "runs": len(rows),
         }
         for key, _header, _fmt in TABLE_COLUMNS:
@@ -120,6 +132,10 @@ def aggregate(metrics_rows: list[dict]) -> list[dict]:
                 cell[key] = sum(vals) / len(vals) if vals else math.nan
         if topology:
             for key, _header, _fmt in TOPOLOGY_COLUMNS:
+                vals = [r[key] for r in rows if key in r and math.isfinite(r[key])]
+                cell[key] = sum(vals) / len(vals) if vals else math.nan
+        if redundancy:
+            for key, _header, _fmt in REDUNDANCY_COLUMNS:
                 vals = [r[key] for r in rows if key in r and math.isfinite(r[key])]
                 cell[key] = sum(vals) / len(vals) if vals else math.nan
         out.append(cell)
@@ -134,6 +150,7 @@ def render_markdown(cells: list[dict]) -> str:
     show_endurance = any(c.get("endurance") for c in cells)
     show_service = any(c.get("service") for c in cells)
     show_topology = any(c.get("topology") for c in cells)
+    show_redundancy = any(c.get("redundancy") for c in cells)
     headers = ["workload", "policy"]
     if show_faults:
         headers.append("faults")
@@ -143,11 +160,15 @@ def render_markdown(cells: list[dict]) -> str:
         headers.append("service")
     if show_topology:
         headers.append("topology")
+    if show_redundancy:
+        headers.append("redundancy")
     headers += ["runs"] + [h for _k, h, _f in TABLE_COLUMNS]
     if show_service:
         headers += [h for _k, h, _f in SERVICE_COLUMNS]
     if show_topology:
         headers += [h for _k, h, _f in TOPOLOGY_COLUMNS]
+    if show_redundancy:
+        headers += [h for _k, h, _f in REDUNDANCY_COLUMNS]
     lines = [
         "| " + " | ".join(headers) + " |",
         "|" + "|".join("---" for _ in headers) + "|",
@@ -162,6 +183,8 @@ def render_markdown(cells: list[dict]) -> str:
             values.append(c.get("service") or "untimed")
         if show_topology:
             values.append(c.get("topology") or "static")
+        if show_redundancy:
+            values.append(c.get("redundancy") or "plain")
         values.append(str(c["runs"]))
         values += [format(c[key], fmt) for key, _h, fmt in TABLE_COLUMNS]
         if show_service:
@@ -171,6 +194,11 @@ def render_markdown(cells: list[dict]) -> str:
                 values.append(format(v, fmt) if has else "-")
         if show_topology:
             for key, _h, fmt in TOPOLOGY_COLUMNS:
+                v = c.get(key)
+                has = v is not None and not (isinstance(v, float) and math.isnan(v))
+                values.append(format(v, fmt) if has else "-")
+        if show_redundancy:
+            for key, _h, fmt in REDUNDANCY_COLUMNS:
                 v = c.get(key)
                 has = v is not None and not (isinstance(v, float) and math.isnan(v))
                 values.append(format(v, fmt) if has else "-")

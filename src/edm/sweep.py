@@ -98,25 +98,29 @@ def default_grid(
     endurance=("",),
     service=("",),
     topology=("",),
+    redundancy=("",),
     **overrides,
 ) -> list[SimConfig]:
-    """The paper's evaluation grid: 4 workloads x {16,20} OSDs x 4 policies x 2 seeds.
+    """The default evaluation grid: 4 workloads x {16,20} OSDs x the policy zoo x 2 seeds.
 
-    ``faults``, ``endurance``, ``service``, and ``topology`` are extra grid
-    axes of fault-scenario, endurance-model, service-model, and
-    topology-plan specs (see :mod:`edm.faults.plan` /
+    ``faults``, ``endurance``, ``service``, ``topology``, and ``redundancy``
+    are extra grid axes of fault-scenario, endurance-model, service-model,
+    topology-plan, and redundancy-scheme specs (see :mod:`edm.faults.plan` /
     :mod:`edm.endurance.spec` / :mod:`edm.service.spec` /
-    :mod:`edm.topology.spec`); the default single empty spec on each is the
-    healthy, unrated, unserviced, static cluster and leaves the grid exactly
-    as the paper evaluates it.
+    :mod:`edm.topology.spec` / :mod:`edm.redundancy.spec`); the default
+    single empty spec on each is the healthy, unrated, unserviced, static,
+    redundancy-free cluster.  Restricting ``policies`` to the paper's four
+    (as :mod:`edm.bench` does) recovers the paper's 64-config grid exactly.
     """
     return [
         SimConfig(
             workload=w, num_osds=n, policy=p, seed=s, skew=skew,
-            faults=f, endurance=e, service=v, topology=t, **overrides,
+            faults=f, endurance=e, service=v, topology=t, redundancy=r,
+            **overrides,
         )
-        for w, n, p, s, f, e, v, t in product(
-            workloads, osds, policies, seeds, faults, endurance, service, topology
+        for w, n, p, s, f, e, v, t, r in product(
+            workloads, osds, policies, seeds, faults, endurance, service,
+            topology, redundancy,
         )
     ]
 

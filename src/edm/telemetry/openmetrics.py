@@ -210,6 +210,23 @@ _SCALAR_FAMILIES = {
     "service_dropped_total": (
         "service_dropped", "counter", "Requests dropped by bounded queues.",
     ),
+    # Redundancy block (redundant configs only).
+    "reconstruction_chunks_total": (
+        "reconstruction_chunks", "counter", "Chunks rebuilt from group survivors.",
+    ),
+    "reconstruction_reads_total": (
+        "reconstruction_reads", "counter", "Surviving-chunk reads for rebuilds.",
+    ),
+    "reconstruction_read_mb": (
+        "reconstruction_read_megabytes", "gauge", "Data read for rebuilds, MB.",
+    ),
+    "reconstruction_write_mb": (
+        "reconstruction_write_megabytes", "gauge", "Data rewritten by rebuilds, MB.",
+    ),
+    "data_loss_chunks_total": (
+        "data_loss_chunks", "counter",
+        "Chunks whose group lacked enough survivors to rebuild.",
+    ),
 }
 
 _INFO_LABELS = ("workload", "policy", "num_osds", "seed", "skew")

@@ -149,3 +149,46 @@ def test_stable_public_api():
     ):
         assert name in edm.__all__
         assert getattr(edm, name) is not None
+
+
+def test_run_with_redundancy_flag(capsys):
+    assert (
+        main(
+            [
+                "run",
+                "--osds", "8",
+                "--policy", "pswl",
+                "--epochs", "8",
+                "--requests", "128",
+                "--redundancy", "rep:3",
+            ]
+        )
+        == 0
+    )
+    metrics = json.loads(capsys.readouterr().out)
+    assert metrics["policy"] == "pswl"
+    assert metrics["redundancy"] == "rep:3"
+    assert metrics["reconstruction_chunks_total"] == 0  # healthy run
+
+
+def test_sweep_redundancy_axis(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--workloads", "deasna",
+                "--osds", "8",
+                "--policies", "cmt",
+                "--seeds", "1",
+                "--epochs", "8",
+                "--requests", "128",
+                "--redundancy", "none,rep:3",
+                "--cache-dir", str(tmp_path),
+                "--workers", "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 configs: 2 simulated" in out
+    assert "-g" in out  # the redundant config's cache-name suffix

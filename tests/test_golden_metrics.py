@@ -47,6 +47,13 @@ GOLDEN = {
     "cmt-degraded-rated": "b27d481f49c3ab7265d1b077a8c99668af5015eacd5e98bc96753e2a35179800",
     "cmt-serviced": "e2c6339a16260cac5c46c1a8d6fbedbab2b47e0cc01932b17adca3dd1ab5b088",
     "cmt-serviced-degraded": "ba70cb4afea6bf81e31a79c1baef871bfd2bb311e7dabb94f2d7c4e94500894a",
+    # Policy-zoo + redundancy digests, pinned under the same ENGINE_VERSION 5:
+    # new policies and the redundancy layer are gated on new config fields,
+    # so every pre-existing digest above passing *unchanged* is the proof the
+    # zoo and the grouping layer left redundancy-free configs bit-identical.
+    "pswl": "85263f92242f360578b3fd3e60234d4eda749cde768e36ca01161980ecb51b48",
+    "consolidate": "ec401fdb09f0219a1a7214d3534c67bdd2ff0414422d955db418d4176a8e2a7d",
+    "cmt-ec-degraded": "0db5bb16757551b68fecc0c88c6293e7b2793d9bb736995a0fc084cff17b06bd",
 }
 
 CASES = {
@@ -67,6 +74,13 @@ CASES = {
     "cmt-serviced-degraded": dict(
         policy="cmt", service="rate:60;rate:200@4-7;queue:64", faults="fail:1@8"
     ),
+    # Policy zoo: the wear-probability-sensitive and consolidation policies
+    # on the same plain config as the four paper policies.
+    "pswl": dict(policy="pswl"),
+    "consolidate": dict(policy="consolidate"),
+    # Redundant + degraded: group-constrained re-placement and the
+    # reconstruction traffic block (ec:4+2 groups, one scheduled failure).
+    "cmt-ec-degraded": dict(policy="cmt", faults="fail:1@8", redundancy="ec:4+2"),
 }
 
 

@@ -142,3 +142,81 @@ def test_sample_covers_every_policy_and_scenario_kind():
     assert any(not c.faults and not c.endurance and not c.service for c in cases)
     # Reproducibility: the same seeded draw yields the same sample.
     assert [c.cache_name() for c in sample_configs()] == [c.cache_name() for c in cases]
+
+
+# --- redundancy invariants ---------------------------------------------------
+# The spread constraint must hold at *every* epoch, through every disruption
+# that re-homes chunks: scheduled failures, wear-out deaths, and drains.
+
+REDUNDANT_SCENARIOS = [
+    # (scheme, scenario overrides) -- all feasible on an 8-OSD cluster:
+    # ec:4+2 groups need 6 distinct OSDs, the banded endurance model wears
+    # out at most OSDs 0-1 (6 survivors), fail:1 leaves 7, drain:0 leaves 7.
+    ("rep:2", dict()),
+    ("rep:3", dict(faults="fail:1@8")),
+    ("rep:3", dict(endurance="pe:1200@0-1,100000@2-7")),
+    ("ec:2+1", dict(faults="slow:2@4x0.5;fail:1@8", service="rate:80;queue:32")),
+    ("ec:4+2", dict(faults="fail:1@8")),
+    ("ec:4+2", dict(topology="drain:0@8")),
+]
+
+
+class GroupSpreadRecorder(Recorder):
+    """Asserts the no-co-location invariant on the live state every epoch."""
+
+    def on_run_start(self, cfg, state):
+        assert state.chunk_group is not None, "redundant run lost its grouping"
+        self.epochs_checked = 0
+
+    def on_epoch(self, state, load, stats):
+        # Two chunks of one group on one OSD would collide in this key.
+        key = (
+            state.chunk_group.astype(np.int64) * state.num_osds
+            + state.chunk_owner
+        )
+        assert np.unique(key).size == state.num_chunks, (
+            "placement group co-located two chunks on one OSD"
+        )
+        self.epochs_checked += 1
+
+    def finalize(self, state, final_load):
+        return None
+
+
+@pytest.mark.parametrize(
+    "scheme,overrides",
+    REDUNDANT_SCENARIOS,
+    ids=[f"{s}-{'+'.join(sorted(o)) or 'plain'}" for s, o in REDUNDANT_SCENARIOS],
+)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_redundant_groups_never_colocate(policy, scheme, overrides):
+    cfg = cfg_factory(policy=policy, redundancy=scheme, seed=11, **SIZING, **overrides)
+    spread = GroupSpreadRecorder()
+    metrics = simulate(cfg, recorders=(spread,))
+    assert spread.epochs_checked == cfg.epochs
+    assert metrics["redundancy"] == scheme
+
+    # Reconstruction conserves the wear identity: rebuild *reads* add no
+    # wear, the rebuild write is charged as an ordinary migration -- so the
+    # same books that balance for plain runs balance under reconstruction.
+    expected = (
+        metrics["total_writes"] * cfg.wear_per_write
+        + metrics["migrations_total"] * cfg.migration_write_cost * cfg.wear_per_write
+    )
+    assert sum(metrics["per_osd_wear"]) == pytest.approx(expected, rel=1e-9)
+
+    # Reconstruction is charged exactly for chunks re-placed off *dead*
+    # OSDs (failures + wear-outs), never for drains, and reads are bounded
+    # by the scheme's read amplification.
+    dead_replacements = metrics.get("replacement_moves_total", 0) + metrics.get(
+        "wearout_replacements_total", 0
+    )
+    assert metrics["reconstruction_chunks_total"] == dead_replacements
+    reads_per_loss = 1 if scheme.startswith("rep") else int(scheme[3:].split("+")[0])
+    assert (
+        metrics["reconstruction_reads_total"]
+        <= metrics["reconstruction_chunks_total"] * reads_per_loss
+    )
+    assert metrics["data_loss_chunks_total"] == 0  # all scenarios tolerate it
+    if overrides.get("topology"):
+        assert metrics["drain_moves_total"] > 0  # drained, not reconstructed

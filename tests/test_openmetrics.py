@@ -103,6 +103,20 @@ def test_registry_from_metrics_faulted_endured_run():
     assert "edm_osds_alive " in text
 
 
+def test_registry_from_metrics_redundant_degraded_run():
+    metrics = simulate(cfg_factory(num_osds=8, redundancy="ec:4+2", faults="fail:1@12"))
+    text = registry_from_metrics(metrics).render()
+    assert "edm_reconstruction_chunks_total " in text
+    assert "edm_reconstruction_reads_total " in text
+    assert "edm_reconstruction_read_megabytes " in text
+    assert "edm_reconstruction_write_megabytes " in text
+    assert "edm_data_loss_chunks_total 0" in text
+    # A plain run exposes none of the redundancy block.
+    plain = registry_from_metrics(simulate(cfg_factory())).render()
+    assert "edm_reconstruction_" not in plain
+    assert "edm_data_loss_" not in plain
+
+
 def test_sentinel_and_partial_metrics_pass_through():
     # predicted_first_wearout_epoch uses -1 as its "none in sight" sentinel;
     # the gauge carries it through as a plain number, not Inf, and mapping a

@@ -23,13 +23,33 @@ def overloaded_state(cfg, heat_on_src, wear=None):
     return make_state(cfg, heat=heat, wear=wear, load_ema=load_ema)
 
 
-def test_registry_has_all_four_plus_alias():
+def test_registry_has_the_full_zoo_plus_alias():
     # The registry holds canonical names only; aliases resolve through
     # resolve_policy (which get_policy routes through).
-    assert set(POLICIES) == {"baseline", "cdf", "hdf", "cmt"}
+    assert set(POLICIES) == {"baseline", "cdf", "hdf", "cmt", "pswl", "consolidate"}
     assert isinstance(get_policy("edm"), CmtPolicy)
     with pytest.raises(ValueError):
         get_policy("nope")
+
+
+def test_unknown_policy_error_lists_the_live_registry():
+    # The error message enumerates whatever is registered *now*, so a future
+    # zoo addition shows up in the complaint without anyone editing it.
+    from edm.config import POLICIES as canonical_names, POLICY_ALIASES
+    from edm.policies import resolve_policy
+
+    with pytest.raises(ValueError) as err:
+        resolve_policy("nope")
+    assert str(sorted(POLICIES)) in str(err.value)
+    assert str(sorted(POLICY_ALIASES)) in str(err.value)
+    # And the registry itself matches config's hand-maintained tuple (the
+    # import-time guard enforces this; assert it here so the contract is
+    # visible in the test suite, not only as a RuntimeError at import).
+    assert set(POLICIES) == set(canonical_names)
+    # Every alias resolves to a registered canonical name.
+    for alias, target in POLICY_ALIASES.items():
+        assert resolve_policy(alias) == target
+        assert target in POLICIES
 
 
 def test_baseline_never_migrates(cfg):

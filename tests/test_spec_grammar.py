@@ -10,13 +10,16 @@ every pinned golden digest) survives the port.
 
 import re
 
+import numpy as np
 import pytest
 
 from conftest import cfg_factory
 from edm.config import config_hash
 from edm.endurance import EnduranceModel
 from edm.faults import FaultPlan
+from edm.redundancy import RedundancyScheme
 from edm.service import ServiceModel
+from edm.topology import TopologyPlan
 from edm.spec import (
     ClauseRule,
     SpecError,
@@ -197,6 +200,29 @@ def test_service_model_canonical_pins(spelled, canonical):
     assert ServiceModel.parse(model.spec, num_osds=8).spec == canonical
 
 
+REDUNDANCY_PINS = [
+    ("rep:3", "rep:3"),
+    ("rep:03", "rep:3"),  # leading zeros normalize away
+    ("ec:4+2", "ec:4+2"),
+    ("ec:04+02", "ec:4+2"),
+    (" rep:2 ", "rep:2"),
+]
+
+
+@pytest.mark.parametrize("spelled,canonical", REDUNDANCY_PINS)
+def test_redundancy_scheme_canonical_pins(spelled, canonical):
+    scheme = RedundancyScheme.parse(spelled, num_osds=8)
+    assert scheme.spec == canonical
+    assert RedundancyScheme.parse(scheme.spec, num_osds=8).spec == canonical
+
+
+@pytest.mark.parametrize("spec", ["", "   ", "none"])
+def test_redundancy_empty_spellings_mean_no_scheme(spec):
+    scheme = RedundancyScheme.parse(spec, num_osds=8)
+    assert not scheme
+    assert scheme.spec == ""
+
+
 # --- porting contract: grammar error messages --------------------------------
 
 
@@ -206,10 +232,104 @@ def test_service_model_canonical_pins(spelled, canonical):
     (EnduranceModel, "3000", r"bad endurance spec '3000'; expected 'pe:CYCLES'"),
     (ServiceModel, "rate:-5", r"bad service clause 'rate:-5'; expected 'rate:RATE'"),
     (ServiceModel, "queue:64", r"no rate clause; at least one 'rate:RATE' is required"),
+    (RedundancyScheme, "par:3",
+     r"bad redundancy scheme 'par:3'; expected 'rep:N' \(N-way replication\) "
+     r"or 'ec:M\+K' \(M data \+ K parity\)"),
+    (RedundancyScheme, "rep:1",
+     r"redundancy scheme 'rep:1': replication needs at least 2 copies "
+     r"\('none' = no redundancy\)"),
+    (RedundancyScheme, "ec:0+1",
+     r"redundancy scheme 'ec:0\+1': erasure coding needs at least 1 data "
+     r"and 1 parity chunk"),
+    (RedundancyScheme, "ec:4+0",
+     r"redundancy scheme 'ec:4\+0': erasure coding needs at least 1 data "
+     r"and 1 parity chunk"),
+    (RedundancyScheme, "rep:2;rep:3",
+     r"bad redundancy spec 'rep:2;rep:3': exactly one scheme is allowed, got 2"),
+    (RedundancyScheme, "ec:7+3",
+     r"redundancy scheme 'ec:7\+3' needs 10 distinct OSDs per group, "
+     r"but the cluster has 8"),
 ])
 def test_grammar_error_messages_unchanged(factory, spec, message):
     with pytest.raises(SpecError, match=message):
         factory.parse(spec, num_osds=8)
+
+
+# --- fuzz: parse -> canonicalize -> parse is idempotent for every grammar ----
+# Randomly assembled *well-formed* specs must canonicalize to a fixed point
+# (parse(canonical).spec == canonical); randomly mutated garbage must fail
+# with a deterministic SpecError, never an unrelated exception.  Seeded RNG,
+# so any failure reproduces exactly.
+
+
+def _fuzz_fragments(rng):
+    """One random well-formed spec per grammar, drawn from clause templates."""
+    e = lambda: int(rng.integers(1, 200))
+    osd = lambda: int(rng.integers(0, 8))
+    return {
+        FaultPlan: ";".join(
+            rng.permutation([
+                f"fail:{osd()}@{e()}",
+                f"slow:{osd()}@{e()}x0.{rng.integers(1, 9)}",
+                f"hiccup:{osd()}@{e()}+{int(rng.integers(1, 9))}x0.{rng.integers(1, 9)}",
+            ]).tolist()[: int(rng.integers(1, 4))]
+        ),
+        EnduranceModel: rng.choice([
+            f"pe:{int(rng.integers(100, 99999))}",
+            f"pe:{int(rng.integers(100, 9999))}@0-3,{int(rng.integers(100, 9999))}@4-7",
+            f"pe:0{int(rng.integers(100, 9999))}.0",
+        ]),
+        ServiceModel: rng.choice([
+            f"rate:{int(rng.integers(1, 2000))}",
+            f"queue:{int(rng.integers(1, 256))};rate:{int(rng.integers(1, 2000))}",
+            f"rate:{int(rng.integers(1, 2000))}@4-7;rate:{int(rng.integers(1, 2000))}@0-3",
+        ]),
+        TopologyPlan: rng.choice([
+            f"add:{int(rng.integers(1, 4))}@{e()}",
+            f"add:{int(rng.integers(1, 4))}@{e()}/cap:{int(rng.integers(1, 4))}",
+            f"drain:{osd()}@{e()}",
+        ]),
+        RedundancyScheme: rng.choice([
+            f"rep:{int(rng.integers(2, 9))}",
+            f"ec:{int(rng.integers(1, 5))}+{int(rng.integers(1, 4))}",
+            f"rep:0{int(rng.integers(2, 9))}",
+        ]),
+    }
+
+
+def test_fuzz_canonicalization_is_idempotent():
+    rng = np.random.default_rng(20260808)
+    for _ in range(50):
+        for factory, spec in _fuzz_fragments(rng).items():
+            parsed = factory.parse(spec, num_osds=8)
+            canonical = parsed.spec
+            again = factory.parse(canonical, num_osds=8)
+            assert again.spec == canonical, (
+                f"{factory.__name__}: {spec!r} -> {canonical!r} is not a "
+                f"canonical fixed point (re-parses to {again.spec!r})"
+            )
+
+
+def test_fuzz_garbage_fails_deterministically():
+    rng = np.random.default_rng(20260808 + 1)
+    alphabet = list("abcxyz:@+-.;,|0123456789 ")
+    factories = (FaultPlan, EnduranceModel, ServiceModel, TopologyPlan, RedundancyScheme)
+    rejected = 0
+    for _ in range(100):
+        garbage = "".join(rng.choice(alphabet, size=int(rng.integers(1, 24))))
+        for factory in factories:
+            try:
+                first = factory.parse(garbage, num_osds=8)
+            except SpecError as err:
+                rejected += 1
+                # The message is stable: the same input always produces the
+                # byte-identical complaint (what the CLI surfaces to users).
+                with pytest.raises(SpecError, match=re.escape(str(err))):
+                    factory.parse(garbage, num_osds=8)
+            else:
+                # Rare accidental valid spec: must still be a fixed point.
+                assert factory.parse(first.spec, num_osds=8).spec == first.spec
+    assert rejected > 100, "fuzz draw stopped producing rejections"
 
 
 # --- porting contract: config hashes and cache keys --------------------------
